@@ -1,0 +1,65 @@
+// Command strixbench regenerates the tables and figures of the Strix paper
+// (MICRO 2023) from the models in this repository.
+//
+// Usage:
+//
+//	strixbench -list
+//	strixbench -exp all
+//	strixbench -exp table5 -format csv
+//	strixbench -exp fig1 -full   # Fig 1 with full-scale set I (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/tfhe"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	format := flag.String("format", "text", "output format: text or csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	full := flag.Bool("full", false, "run fig1 with full-scale parameter set I (slow)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var reports []experiments.Report
+	var err error
+	switch {
+	case *exp == "fig1" && *full:
+		var r experiments.Report
+		r, err = experiments.Fig1(tfhe.ParamsI, 1)
+		reports = []experiments.Report{r}
+	case *exp == "all":
+		reports, err = experiments.RunAll()
+	default:
+		var r experiments.Report
+		r, err = experiments.Run(*exp)
+		reports = []experiments.Report{r}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strixbench:", err)
+		os.Exit(1)
+	}
+
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(r.CSV())
+		default:
+			fmt.Print(r.Text())
+		}
+	}
+}

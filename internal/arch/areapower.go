@@ -1,0 +1,149 @@
+package arch
+
+import (
+	"math"
+
+	"repro/internal/tfhe"
+)
+
+// Area/power model calibrated against the paper's TSMC 28nm synthesis
+// results (Table III). Per-component constants reproduce the published
+// breakdown for the default configuration; the parametric parts (FFT size,
+// lane counts, scratchpad capacity) scale the model for the folding
+// ablation of Table VI and for configuration sweeps.
+
+// Calibration constants (28nm). See fftmodel.go for the FFT-unit model.
+const (
+	areaLocalScratchpadMM2 = 0.92 // 0.625 MB local scratchpad
+	areaRotatorMM2         = 0.02
+	areaDecomposerMM2      = 0.28
+	areaVMAMM2             = 0.63
+	areaAccumulatorMM2     = 0.32
+	areaGlobalNoCMM2       = 0.04
+	areaGlobalSPPerMB      = 51.40 / 21.0 // global scratchpad mm²/MB
+	areaHBMPhyMM2          = 14.90
+
+	powerLocalScratchpadW = 0.47
+	powerRotatorW         = 0.01
+	powerDecomposerW      = 0.02
+	powerIFFTUW           = 5.49
+	powerVMAW             = 0.10
+	powerAccumulatorW     = 0.13
+	powerGlobalNoCW       = 0.01
+	powerGlobalSPPerMB    = 26.24 / 21.0
+	powerHBMPhyW          = 1.23
+)
+
+// AreaBreakdown is the per-component area/power report of Table III.
+type AreaBreakdown struct {
+	Component string
+	AreaMM2   float64
+	PowerW    float64
+}
+
+// AreaModel computes Table III for a configuration and parameter set.
+type AreaModel struct {
+	Cfg Config
+	P   tfhe.Params
+}
+
+// fftUnitCount returns the number of (I)FFT unit instances per core:
+// PLP forward units plus PLP inverse units.
+func (a AreaModel) fftUnitCount() int { return 2 * a.Cfg.PLP }
+
+// maxFFTPoints returns the FFT length the hardware must support: the
+// largest parameter set (N=16384) folded to 8192 points, or unfolded.
+func (a AreaModel) maxFFTPoints() int {
+	n := 16384 // hardware sized for the largest supported set (§V-A)
+	if a.Cfg.Folded {
+		return n / 2
+	}
+	return n
+}
+
+// FFTUnitAreaMM2 returns the area of a single pipelined (I)FFT unit.
+func (a AreaModel) FFTUnitAreaMM2() float64 {
+	return fftUnitArea(a.maxFFTPoints(), a.Cfg.CLP)
+}
+
+// laneScale scales the coefficient-lane units: the folded design needs
+// 2·CLP lanes, the unfolded one CLP lanes (§V-A), and the defaults are
+// calibrated at CLP=4 folded.
+func (a AreaModel) laneScale() float64 {
+	lanes := 2 * a.Cfg.CLP
+	if !a.Cfg.Folded {
+		lanes = a.Cfg.CLP
+	}
+	return float64(lanes) / 8.0
+}
+
+// CoreAreaMM2 returns the area of one HSC.
+func (a AreaModel) CoreAreaMM2() float64 {
+	s := a.laneScale()
+	return areaLocalScratchpadMM2 +
+		areaRotatorMM2*s +
+		areaDecomposerMM2*s +
+		float64(a.fftUnitCount())*a.FFTUnitAreaMM2() +
+		areaVMAMM2*float64(a.Cfg.PLP)/2.0 +
+		areaAccumulatorMM2*s
+}
+
+// ChipAreaMM2 returns the total die area.
+func (a AreaModel) ChipAreaMM2() float64 {
+	globalMB := float64(a.Cfg.GlobalScratchpadBytes) / (1 << 20)
+	return float64(a.Cfg.TvLP)*a.CoreAreaMM2() +
+		areaGlobalNoCMM2 +
+		areaGlobalSPPerMB*globalMB +
+		areaHBMPhyMM2
+}
+
+// CorePowerW returns the power of one HSC.
+func (a AreaModel) CorePowerW() float64 {
+	s := a.laneScale()
+	fftScale := float64(a.fftUnitCount()) / 4.0 *
+		a.FFTUnitAreaMM2() / fftUnitArea(8192, 4)
+	return powerLocalScratchpadW +
+		powerRotatorW*s +
+		powerDecomposerW*s +
+		powerIFFTUW*fftScale +
+		powerVMAW*float64(a.Cfg.PLP)/2.0 +
+		powerAccumulatorW*s
+}
+
+// ChipPowerW returns total chip power.
+func (a AreaModel) ChipPowerW() float64 {
+	globalMB := float64(a.Cfg.GlobalScratchpadBytes) / (1 << 20)
+	return float64(a.Cfg.TvLP)*a.CorePowerW() +
+		powerGlobalNoCW +
+		powerGlobalSPPerMB*globalMB +
+		powerHBMPhyW
+}
+
+// Breakdown returns the Table III rows.
+func (a AreaModel) Breakdown() []AreaBreakdown {
+	s := a.laneScale()
+	globalMB := float64(a.Cfg.GlobalScratchpadBytes) / (1 << 20)
+	fftScale := float64(a.fftUnitCount()) / 4.0 *
+		a.FFTUnitAreaMM2() / fftUnitArea(8192, 4)
+	rows := []AreaBreakdown{
+		{"Local scratchpad (0.625MB)", areaLocalScratchpadMM2, powerLocalScratchpadW},
+		{"Rotator", areaRotatorMM2 * s, powerRotatorW * s},
+		{"Decomposer", areaDecomposerMM2 * s, powerDecomposerW * s},
+		{"I/FFTU", float64(a.fftUnitCount()) * a.FFTUnitAreaMM2(), powerIFFTUW * fftScale},
+		{"VMA", areaVMAMM2 * float64(a.Cfg.PLP) / 2.0, powerVMAW * float64(a.Cfg.PLP) / 2.0},
+		{"Accumulator", areaAccumulatorMM2 * s, powerAccumulatorW * s},
+		{"1 core", a.CoreAreaMM2(), a.CorePowerW()},
+		{"8 cores", float64(a.Cfg.TvLP) * a.CoreAreaMM2(), float64(a.Cfg.TvLP) * a.CorePowerW()},
+		{"Global NoC", areaGlobalNoCMM2, powerGlobalNoCW},
+		{"Global scratchpad (21MB)", areaGlobalSPPerMB * globalMB, powerGlobalSPPerMB * globalMB},
+		{"HBM2 PHY", areaHBMPhyMM2, powerHBMPhyW},
+		{"Total", a.ChipAreaMM2(), a.ChipPowerW()},
+	}
+	for i := range rows {
+		rows[i].AreaMM2 = round2(rows[i].AreaMM2)
+		rows[i].PowerW = round2(rows[i].PowerW)
+	}
+	return rows
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }

@@ -1,0 +1,99 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/tfhe"
+)
+
+// Chip models the full Strix device: TvLP HSCs fed by the multicast NoC
+// from the global scratchpad, scheduling workloads as epochs (§IV-C). Each
+// epoch carries up to TvLP · CoreBatch LWEs (device-level × core-level
+// batching); keyswitching of epoch e overlaps the blind rotation of epoch
+// e+1, so only the final epoch's keyswitch appears on the critical path.
+type Chip struct {
+	Model Model
+}
+
+// NewChip builds a chip for the configuration and parameter set.
+func NewChip(cfg Config, p tfhe.Params) (Chip, error) {
+	m, err := NewModel(cfg, p)
+	if err != nil {
+		return Chip{}, err
+	}
+	return Chip{Model: m}, nil
+}
+
+// WorkloadResult reports the simulated execution of a workload.
+type WorkloadResult struct {
+	PBSCount      int
+	Epochs        int
+	Cycles        int64
+	Seconds       float64
+	ThroughputPBS float64
+}
+
+// RunPBS schedules count independent PBS+KS operations and returns the
+// end-to-end execution time.
+func (c Chip) RunPBS(count int) (WorkloadResult, error) {
+	if count < 0 {
+		return WorkloadResult{}, fmt.Errorf("arch: negative PBS count %d", count)
+	}
+	if count == 0 {
+		return WorkloadResult{}, nil
+	}
+	m := c.Model
+	b := m.CoreBatch()
+	perEpoch := b * m.Cfg.TvLP
+
+	full := count / perEpoch
+	rem := count % perEpoch
+
+	var cycles int64
+	cycles += int64(full) * m.BlindRotateCycles(b)
+	epochs := full
+	if rem > 0 {
+		// Partial epoch: cores share the remainder; the slowest core
+		// carries ceil(rem/TvLP) LWEs.
+		bRem := (rem + m.Cfg.TvLP - 1) / m.Cfg.TvLP
+		cycles += m.BlindRotateCycles(bRem)
+		epochs++
+	}
+	// The last epoch's keyswitch cannot hide behind a subsequent blind
+	// rotation: add the per-core KS tail (B LWEs serially per cluster).
+	tailB := b
+	if rem > 0 {
+		tailB = (rem + m.Cfg.TvLP - 1) / m.Cfg.TvLP
+	}
+	cycles += int64(tailB) * m.KSCyclesPerLWE()
+
+	secs := float64(cycles) / m.Cfg.FreqHz
+	return WorkloadResult{
+		PBSCount:      count,
+		Epochs:        epochs,
+		Cycles:        cycles,
+		Seconds:       secs,
+		ThroughputPBS: float64(count) / secs,
+	}, nil
+}
+
+// RunLayers schedules a sequence of dependent layers (e.g. a neural
+// network): layer i+1's PBS operations cannot start before layer i fully
+// completes, so each layer pays its own keyswitch tail.
+func (c Chip) RunLayers(layerPBS []int) (WorkloadResult, error) {
+	var total WorkloadResult
+	for i, n := range layerPBS {
+		r, err := c.RunPBS(n)
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("arch: layer %d: %w", i, err)
+		}
+		total.PBSCount += r.PBSCount
+		total.Epochs += r.Epochs
+		total.Cycles += r.Cycles
+	}
+	total.Seconds = float64(total.Cycles) / c.Model.Cfg.FreqHz
+	if total.Seconds > 0 {
+		total.ThroughputPBS = float64(total.PBSCount) / total.Seconds
+	}
+	return total, nil
+}

@@ -1,0 +1,28 @@
+package baseline
+
+// Comparator records the published latency/throughput of a prior
+// accelerator for one parameter set — the YKP (FPGA), XHEC (FPGA) and
+// Matcha (ASIC) rows of Table V, which the paper itself cites from the
+// respective publications (no simulator exists to regenerate them).
+type Comparator struct {
+	Platform  string
+	Kind      string // "CPU", "GPU", "FPGA", "ASIC"
+	Set       string
+	LatencyMs float64 // 0 = not reported
+	PBSPerSec float64
+}
+
+// PublishedComparators returns the non-Strix, non-CPU/GPU rows of Table V.
+func PublishedComparators() []Comparator {
+	return []Comparator{
+		{Platform: "YKP", Kind: "FPGA", Set: "I", LatencyMs: 1.88, PBSPerSec: 2657},
+		{Platform: "YKP", Kind: "FPGA", Set: "III", LatencyMs: 4.78, PBSPerSec: 836},
+		{Platform: "XHEC", Kind: "FPGA", Set: "I", LatencyMs: 0, PBSPerSec: 2200},
+		{Platform: "XHEC", Kind: "FPGA", Set: "II", LatencyMs: 0, PBSPerSec: 1800},
+		{Platform: "Matcha", Kind: "ASIC", Set: "I", LatencyMs: 0.20, PBSPerSec: 10000},
+	}
+}
+
+// MatchaThroughput is the state-of-the-art ASIC baseline the paper's
+// headline 7.4× improvement is measured against (set I).
+const MatchaThroughput = 10000.0

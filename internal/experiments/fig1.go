@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/tfhe"
+)
+
+// Fig1 reproduces the CPU workload breakdown of a TFHE gate operation:
+// the PBS/KS/other split, the blind-rotation share of PBS, and the
+// per-iteration split across FFT, vector multiply, IFFT+accumulate,
+// decomposition and rotation. The breakdown is *measured* by executing a
+// real gate with the functional library and weighting its operation
+// counters with CPU cost weights (see internal/baseline).
+//
+// params selects the TFHE parameter set; the paper uses the Concrete
+// 110-bit defaults (set I). Pass tfhe.ParamsTest for a fast run with the
+// same algorithmic structure.
+func Fig1(params tfhe.Params, seed int64) (Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sk, ek := tfhe.GenerateKeys(rng, params)
+	ev := tfhe.NewEvaluator(ek)
+
+	a := sk.EncryptBool(rng, true)
+	b := sk.EncryptBool(rng, false)
+	out := ev.NAND(a, b)
+	if got := sk.DecryptBool(out); got != true {
+		return Report{}, fmt.Errorf("fig1: gate produced wrong result %v", got)
+	}
+
+	bd := baseline.GateBreakdown(params, ev, baseline.DefaultCostWeights())
+
+	r := Report{
+		ID:     "fig1",
+		Title:  "Workload breakdown for TFHE gate operation on CPU (set " + params.Name + ")",
+		Header: []string{"level", "component", "share"},
+	}
+	pct := func(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+	r.AddRow("gate", "PBS", pct(bd.PBSFrac))
+	r.AddRow("gate", "KS", pct(bd.KSFrac))
+	r.AddRow("gate", "other", pct(bd.OtherFrac))
+	r.AddRow("PBS", "blind rotation", pct(bd.BlindRotateFrac))
+	r.AddRow("PBS", "modswitch+extract", pct(1-bd.BlindRotateFrac))
+	r.AddRow("BR iter", "FFT", pct(bd.FFTFrac))
+	r.AddRow("BR iter", "vector mult", pct(bd.VMAFrac))
+	r.AddRow("BR iter", "accum+IFFT", pct(bd.IFFTAccFrac))
+	r.AddRow("BR iter", "decomposition", pct(bd.DecompFrac))
+	r.AddRow("BR iter", "rotate", pct(bd.RotateFrac))
+	r.AddNote("paper: PBS ~65%%, KS ~30%%, other ~5%%; blind rotation 96-98%% of PBS")
+	r.AddNote("measured from %d bootstraps / %d keyswitches of the functional library",
+		ev.Counters.PBSCount, ev.Counters.KSCount)
+	return r, nil
+}

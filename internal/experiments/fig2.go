@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+)
+
+// Fig2 reproduces the GPU blind-rotation profiling figure: execution time
+// versus ciphertext count under device-level batching (step function with
+// BR fragmentation at multiples of 72) and versus per-core batch size under
+// core-level batching on the GPU (linear growth — no benefit).
+func Fig2() (Report, error) {
+	gpu := baseline.NewGPUModel()
+
+	r := Report{
+		ID:     "fig2",
+		Title:  "Blind-rotation kernel time on GPU: fragmentation vs core-level batching",
+		Header: []string{"series", "x", "normalized time"},
+	}
+	// Device-level series sampled at the paper's x-axis breakpoints.
+	for _, x := range []int{1, 36, 72, 73, 108, 144, 145, 216, 217, 288} {
+		t := float64(gpu.Fragments(x) + 1)
+		r.AddRow("device-level (# LWE)", fmt.Sprintf("%d", x), f1(t))
+	}
+	for b := 1; b <= 4; b++ {
+		r.AddRow("core-level (# LWE/core)", fmt.Sprintf("%d", b), f1(float64(b)))
+	}
+	r.AddNote("device-level: time steps by 1 unit per 72 ciphertexts (eq. 1-2; BR fragmentation)")
+	r.AddNote("core-level on GPU: time grows linearly with per-core batch — motivates the Strix HSC")
+	return r, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cycle"
+	"repro/internal/tfhe"
+)
+
+// Fig8 reproduces the functional-unit timing measurement: the first two
+// blind-rotation iterations of one HSC processing three LWE ciphertexts
+// (parameter set I), as a Gantt chart plus per-unit utilization over the
+// steady state.
+func Fig8() (Report, error) {
+	m, err := arch.NewModel(arch.DefaultConfig(), tfhe.ParamsI)
+	if err != nil {
+		return Report{}, err
+	}
+	const batch, iters = 3, 12
+	sim := arch.NewHSCSim(m)
+	if _, err := sim.SimulateBlindRotate(batch, iters); err != nil {
+		return Report{}, err
+	}
+
+	si := m.StageInterval()
+	window := cycle.Time(batch * si)
+	// Steady-state utilization window: iterations 3..10.
+	from, to := 3*window, 10*window
+
+	r := Report{
+		ID:     "fig8",
+		Title:  "Functional-unit timing, 3 LWEs/core, set I (first two BR iterations)",
+		Header: []string{"unit", "steady-state utilization"},
+	}
+	order := []string{
+		arch.UnitRotator, arch.UnitDecomposer, arch.UnitFFT, arch.UnitVMA,
+		arch.UnitIFFT, arch.UnitAccum, arch.UnitScratchpad, arch.UnitHBM,
+	}
+	for _, u := range order {
+		r.AddRow(u, fmt.Sprintf("%.0f%%", 100*sim.Trace.Utilization(u, from, to)))
+	}
+
+	// Render the first two iterations as the paper does (~1280 ns at
+	// 1.2 GHz ≈ 1536 cycles).
+	nsPerCycle := 1e9 / m.Cfg.FreqHz
+	ganttEnd := 2 * window
+	r.AddNote("two iterations span %.0f ns (paper's Fig 8 x-axis reaches ~1300 ns)",
+		float64(ganttEnd)*nsPerCycle)
+	r.AddNote("gantt (cells = LWE index):\n%s", sim.Trace.Gantt(0, ganttEnd+cycle.Time(si), 96))
+	r.AddNote("paper: decomposer/I/FFT/VMA/accumulator ~100%%, rotator ~50%%, scratchpad ~90%%, HBM ~60%%")
+	return r, nil
+}

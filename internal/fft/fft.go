@@ -1,0 +1,207 @@
+// Package fft provides the Fourier substrate for negacyclic polynomial
+// multiplication in TFHE, implementing the *folding scheme* the Strix paper
+// adopts for its FFT units (§V-A, ref [48]): an N-coefficient negacyclic
+// polynomial is transformed with an N/2-point complex FFT by packing the
+// upper half of the coefficients into the imaginary lane and twisting by the
+// primitive 2N-th roots of unity.
+//
+// The forward transform evaluates a real polynomial P at the points
+// ω^(4k+1), ω = e^(iπ/N), k = 0..N/2-1 — one representative from each
+// conjugate pair of odd 2N-th roots, which is exactly the information needed
+// to multiply in Z[X]/(X^N+1). Pointwise products followed by the inverse
+// transform therefore compute the negacyclic product directly, with no
+// post-transform reordering — the property that lets the hardware pipeline
+// stream polynomials with no matrix transposition.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// FourierPoly is a polynomial in the folded Fourier domain: N/2 complex
+// evaluations at the odd 2N-th roots of unity (one per conjugate pair).
+type FourierPoly []complex128
+
+// Processor performs folded negacyclic FFTs for a fixed polynomial size N.
+// It precomputes twiddle factors and twists; create one per N with
+// NewProcessor and reuse it (it is safe for concurrent use, as all methods
+// only read the precomputed tables and write to caller-provided buffers).
+type Processor struct {
+	n     int          // polynomial size N (power of two)
+	m     int          // FFT size N/2
+	twist []complex128 // e^(iπ j / N), j = 0..N/2-1
+	wFwd  []complex128 // forward stage twiddles, e^(+2πi j / M) powers
+	wInv  []complex128 // inverse stage twiddles, e^(-2πi j / M) powers
+	rev   []int        // bit-reversal permutation for size M
+}
+
+// NewProcessor returns a Processor for negacyclic polynomials of size n
+// (a power of two, n >= 4).
+func NewProcessor(n int) *Processor {
+	if n < 4 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: invalid polynomial size %d", n))
+	}
+	m := n / 2
+	p := &Processor{n: n, m: m}
+	p.twist = make([]complex128, m)
+	for j := 0; j < m; j++ {
+		p.twist[j] = cmplx.Exp(complex(0, math.Pi*float64(j)/float64(n)))
+	}
+	p.wFwd = make([]complex128, m/2)
+	p.wInv = make([]complex128, m/2)
+	for j := 0; j < m/2; j++ {
+		ang := 2 * math.Pi * float64(j) / float64(m)
+		p.wFwd[j] = cmplx.Exp(complex(0, ang))
+		p.wInv[j] = cmplx.Exp(complex(0, -ang))
+	}
+	p.rev = make([]int, m)
+	shift := bits.UintSize - uint(bits.Len(uint(m-1)))
+	for i := 0; i < m; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	}
+	return p
+}
+
+// N returns the polynomial size.
+func (p *Processor) N() int { return p.n }
+
+// M returns the FFT size N/2 (the folded length).
+func (p *Processor) M() int { return p.m }
+
+// NewFourierPoly allocates a zero FourierPoly of the right size.
+func (p *Processor) NewFourierPoly() FourierPoly { return make(FourierPoly, p.m) }
+
+// fftInPlace computes the in-place radix-2 DIT FFT of buf (length m) using
+// the given twiddle table (wFwd for exponent +, wInv for exponent -).
+func (p *Processor) fftInPlace(buf []complex128, w []complex128) {
+	m := p.m
+	for i := 0; i < m; i++ {
+		if j := p.rev[i]; j > i {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	}
+	for size := 2; size <= m; size <<= 1 {
+		half := size >> 1
+		step := m / size
+		for start := 0; start < m; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				a := buf[start+k]
+				b := buf[start+k+half] * tw
+				buf[start+k] = a + b
+				buf[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// ForwardTorusTo transforms a torus polynomial into the folded Fourier
+// domain. Torus coefficients are interpreted as signed integers (centered
+// representatives) to keep magnitudes small for double precision.
+func (p *Processor) ForwardTorusTo(dst FourierPoly, src poly.Poly) {
+	if src.N() != p.n || len(dst) != p.m {
+		panic("fft: ForwardTorusTo size mismatch")
+	}
+	for j := 0; j < p.m; j++ {
+		c := complex(float64(int32(src.Coeffs[j])), float64(int32(src.Coeffs[j+p.m])))
+		dst[j] = c * p.twist[j]
+	}
+	p.fftInPlace(dst, p.wFwd)
+}
+
+// ForwardTorus is ForwardTorusTo with allocation.
+func (p *Processor) ForwardTorus(src poly.Poly) FourierPoly {
+	dst := p.NewFourierPoly()
+	p.ForwardTorusTo(dst, src)
+	return dst
+}
+
+// ForwardIntTo transforms a small-integer polynomial (e.g. gadget
+// decomposition digits) into the folded Fourier domain.
+func (p *Processor) ForwardIntTo(dst FourierPoly, src []int32) {
+	if len(src) != p.n || len(dst) != p.m {
+		panic("fft: ForwardIntTo size mismatch")
+	}
+	for j := 0; j < p.m; j++ {
+		c := complex(float64(src[j]), float64(src[j+p.m]))
+		dst[j] = c * p.twist[j]
+	}
+	p.fftInPlace(dst, p.wFwd)
+}
+
+// ForwardInt is ForwardIntTo with allocation.
+func (p *Processor) ForwardInt(src []int32) FourierPoly {
+	dst := p.NewFourierPoly()
+	p.ForwardIntTo(dst, src)
+	return dst
+}
+
+// InverseTo transforms back from the Fourier domain, rounding each real
+// coefficient to the nearest integer modulo 2^32 and *adding* it into dst.
+// The additive behaviour matches the Strix Accumulator Unit, which sums
+// IFFT outputs in the time domain. fp is clobbered.
+func (p *Processor) InverseTo(dst poly.Poly, fp FourierPoly) {
+	if dst.N() != p.n || len(fp) != p.m {
+		panic("fft: InverseTo size mismatch")
+	}
+	p.fftInPlace(fp, p.wInv)
+	inv := 1.0 / float64(p.m)
+	for j := 0; j < p.m; j++ {
+		c := fp[j] * complex(inv, 0) * cmplx.Conj(p.twist[j])
+		dst.Coeffs[j] += roundToTorus(real(c))
+		dst.Coeffs[j+p.m] += roundToTorus(imag(c))
+	}
+}
+
+// Inverse transforms back into a fresh polynomial (not additive).
+func (p *Processor) Inverse(fp FourierPoly) poly.Poly {
+	dst := poly.New(p.n)
+	p.InverseTo(dst, fp)
+	return dst
+}
+
+// roundToTorus rounds a real value to the nearest integer and reduces it
+// modulo 2^32. Values are folded with math.Mod first so magnitudes up to
+// ~2^63 stay well-defined.
+func roundToTorus(x float64) torus.Torus32 {
+	x = math.Round(x)
+	// Reduce mod 2^32 before conversion to avoid int64 overflow on the
+	// largest accumulated products.
+	x = math.Mod(x, 4294967296.0)
+	return torus.Torus32(int64(x))
+}
+
+// MulAcc sets acc += a ⊙ b (pointwise complex multiply-accumulate). This is
+// the operation of the Strix VMA unit in the frequency domain.
+func MulAcc(acc, a, b FourierPoly) {
+	for i := range acc {
+		acc[i] += a[i] * b[i]
+	}
+}
+
+// Mul sets dst = a ⊙ b.
+func Mul(dst, a, b FourierPoly) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Clear zeroes fp.
+func Clear(fp FourierPoly) {
+	for i := range fp {
+		fp[i] = 0
+	}
+}
+
+// Copy returns a copy of fp.
+func Copy(fp FourierPoly) FourierPoly {
+	out := make(FourierPoly, len(fp))
+	copy(out, fp)
+	return out
+}

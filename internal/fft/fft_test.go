@@ -1,0 +1,252 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// naiveEval evaluates the real polynomial with coefficients c at the odd
+// 2N-th root ω^(4k+1) directly — the reference the folded transform must
+// match.
+func naiveEval(c []float64, k int) complex128 {
+	n := len(c)
+	var acc complex128
+	for j, cj := range c {
+		ang := math.Pi * float64((4*k+1)*j) / float64(n)
+		acc += complex(cj, 0) * cmplx.Exp(complex(0, ang))
+	}
+	return acc
+}
+
+func TestForwardMatchesNaiveEvaluation(t *testing.T) {
+	n := 16
+	p := NewProcessor(n)
+	rng := rand.New(rand.NewSource(1))
+	src := make([]int32, n)
+	cf := make([]float64, n)
+	for i := range src {
+		src[i] = int32(rng.Intn(2000) - 1000)
+		cf[i] = float64(src[i])
+	}
+	fp := p.ForwardInt(src)
+	for k := 0; k < n/2; k++ {
+		want := naiveEval(cf, k)
+		if cmplx.Abs(fp[k]-want) > 1e-6*(1+cmplx.Abs(want)) {
+			t.Fatalf("k=%d: got %v want %v", k, fp[k], want)
+		}
+	}
+}
+
+func TestForwardInverseRoundtripInt(t *testing.T) {
+	for _, n := range []int{8, 64, 1024} {
+		p := NewProcessor(n)
+		rng := rand.New(rand.NewSource(2))
+		src := make([]int32, n)
+		for i := range src {
+			src[i] = int32(rng.Intn(1<<20) - 1<<19)
+		}
+		got := p.Inverse(p.ForwardInt(src))
+		for i := range src {
+			if int32(got.Coeffs[i]) != src[i] {
+				t.Fatalf("n=%d coeff %d: got %d want %d", n, i, int32(got.Coeffs[i]), src[i])
+			}
+		}
+	}
+}
+
+func TestForwardInverseRoundtripTorus(t *testing.T) {
+	n := 256
+	p := NewProcessor(n)
+	rng := rand.New(rand.NewSource(3))
+	src := poly.New(n)
+	poly.Uniform(rng, src)
+	got := p.Inverse(p.ForwardTorus(src))
+	// Full 32-bit magnitudes: allow tiny rounding noise (a few ulps).
+	for i := range src.Coeffs {
+		d := int32(got.Coeffs[i] - src.Coeffs[i])
+		if d > 4 || d < -4 {
+			t.Fatalf("coeff %d: drift %d too large", i, d)
+		}
+	}
+}
+
+func TestNegacyclicProductMatchesNaive(t *testing.T) {
+	// The headline property: folded-FFT pointwise product == schoolbook
+	// negacyclic product, exactly, for gadget-digit-sized operands.
+	for _, n := range []int{16, 128, 1024} {
+		p := NewProcessor(n)
+		rng := rand.New(rand.NewSource(4))
+		a := poly.New(n)
+		poly.Uniform(rng, a)
+		digits := make([]int32, n)
+		for i := range digits {
+			digits[i] = int32(rng.Intn(1024) - 512) // B=2^10 digit range
+		}
+		want := poly.MulNaive(a, digits)
+
+		fa := p.ForwardTorus(a)
+		fd := p.ForwardInt(digits)
+		prod := p.NewFourierPoly()
+		Mul(prod, fa, fd)
+		got := p.Inverse(prod)
+
+		// With N=1024 the products reach ~2^51; allow a few ulps of
+		// rounding drift, which becomes (tiny) extra noise in TFHE.
+		tol := 64.0 / 4294967296.0
+		if d := poly.MaxDistance(got, want); d > tol {
+			t.Fatalf("n=%d: product drift %v exceeds tolerance %v", n, d, tol)
+		}
+		if n <= 128 {
+			// Small N: products fit in exact double range, must be exact.
+			if !got.Equal(want) {
+				t.Fatalf("n=%d: expected exact product", n)
+			}
+		}
+	}
+}
+
+func TestNegacyclicWraparoundSign(t *testing.T) {
+	// X^(N-1) * X = X^N = -1: verify the negacyclic sign comes out of the
+	// Fourier path.
+	n := 16
+	p := NewProcessor(n)
+	a := poly.New(n)
+	a.Coeffs[n-1] = torus.FromFloat(0.25) // 0.25·X^15
+	digits := make([]int32, n)
+	digits[1] = 1 // X
+	prod := p.NewFourierPoly()
+	Mul(prod, p.ForwardTorus(a), p.ForwardInt(digits))
+	got := p.Inverse(prod)
+	want := poly.New(n)
+	want.Coeffs[0] = -torus.FromFloat(0.25)
+	if !got.Equal(want) {
+		t.Fatalf("negacyclic sign wrong: got %v", got.Coeffs[:2])
+	}
+}
+
+func TestMulAccAccumulates(t *testing.T) {
+	n := 32
+	p := NewProcessor(n)
+	rng := rand.New(rand.NewSource(5))
+	a := poly.New(n)
+	b := poly.New(n)
+	poly.Uniform(rng, a)
+	poly.Uniform(rng, b)
+	d1 := make([]int32, n)
+	d2 := make([]int32, n)
+	for i := range d1 {
+		d1[i] = int32(rng.Intn(64) - 32)
+		d2[i] = int32(rng.Intn(64) - 32)
+	}
+	want := poly.Add(poly.MulNaive(a, d1), poly.MulNaive(b, d2))
+
+	acc := p.NewFourierPoly()
+	MulAcc(acc, p.ForwardTorus(a), p.ForwardInt(d1))
+	MulAcc(acc, p.ForwardTorus(b), p.ForwardInt(d2))
+	got := p.Inverse(acc)
+	if !got.Equal(want) {
+		t.Fatalf("MulAcc accumulation mismatch: %v", poly.MaxDistance(got, want))
+	}
+}
+
+func TestInverseToIsAdditive(t *testing.T) {
+	n := 16
+	p := NewProcessor(n)
+	src := make([]int32, n)
+	src[3] = 7
+	fp1 := p.ForwardInt(src)
+	fp2 := p.ForwardInt(src)
+	dst := poly.New(n)
+	p.InverseTo(dst, fp1)
+	p.InverseTo(dst, fp2)
+	if int32(dst.Coeffs[3]) != 14 {
+		t.Fatalf("additive inverse: got %d want 14", int32(dst.Coeffs[3]))
+	}
+}
+
+func TestTransformLinearity(t *testing.T) {
+	n := 64
+	p := NewProcessor(n)
+	rng := rand.New(rand.NewSource(6))
+	a := make([]int32, n)
+	b := make([]int32, n)
+	sum := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(1000) - 500)
+		b[i] = int32(rng.Intn(1000) - 500)
+		sum[i] = a[i] + b[i]
+	}
+	fa := p.ForwardInt(a)
+	fb := p.ForwardInt(b)
+	fs := p.ForwardInt(sum)
+	for i := range fa {
+		if cmplx.Abs(fa[i]+fb[i]-fs[i]) > 1e-6*(1+cmplx.Abs(fs[i])) {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestNewProcessorValidation(t *testing.T) {
+	for _, bad := range []int{0, 2, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for n=%d", bad)
+				}
+			}()
+			NewProcessor(bad)
+		}()
+	}
+}
+
+func TestCopyAndClear(t *testing.T) {
+	p := NewProcessor(8)
+	fp := p.NewFourierPoly()
+	fp[0] = 1 + 2i
+	cp := Copy(fp)
+	Clear(fp)
+	if fp[0] != 0 {
+		t.Error("Clear failed")
+	}
+	if cp[0] != 1+2i {
+		t.Error("Copy not deep")
+	}
+}
+
+func BenchmarkForwardTorus1024(b *testing.B) {
+	p := NewProcessor(1024)
+	rng := rand.New(rand.NewSource(7))
+	src := poly.New(1024)
+	poly.Uniform(rng, src)
+	dst := p.NewFourierPoly()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardTorusTo(dst, src)
+	}
+}
+
+func BenchmarkNegacyclicProduct1024(b *testing.B) {
+	p := NewProcessor(1024)
+	rng := rand.New(rand.NewSource(8))
+	a := poly.New(1024)
+	poly.Uniform(rng, a)
+	digits := make([]int32, 1024)
+	for i := range digits {
+		digits[i] = int32(rng.Intn(1024) - 512)
+	}
+	fa := p.ForwardTorus(a)
+	fd := p.NewFourierPoly()
+	prod := p.NewFourierPoly()
+	dst := poly.New(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardIntTo(fd, digits)
+		Mul(prod, fa, fd)
+		p.InverseTo(dst, prod)
+	}
+}

@@ -1,0 +1,152 @@
+package intops
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tfhe"
+)
+
+var (
+	testSK tfhe.SecretKeys
+	testEK tfhe.EvaluationKeys
+)
+
+func init() {
+	rng := rand.New(rand.NewSource(31))
+	testSK, testEK = tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, v := range []int{0, 1, 7, 42, 63} {
+		x, err := Encrypt(rng, testSK, v, 3) // 3 digits: 0..63
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Decrypt(testSK, x); got != v {
+			t.Errorf("roundtrip(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestEncryptRangeCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Encrypt(rng, testSK, 64, 3); err == nil {
+		t.Error("64 does not fit 3 radix-4 digits")
+	}
+	if _, err := Encrypt(rng, testSK, -1, 3); err == nil {
+		t.Error("negative should error")
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	if MaxValue(3) != 63 || MaxValue(1) != 3 {
+		t.Errorf("MaxValue wrong: %d, %d", MaxValue(3), MaxValue(1))
+	}
+}
+
+func TestAddWithCarryChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ev := New(tfhe.NewEvaluator(testEK))
+	cases := [][2]int{{5, 7}, {0, 0}, {63, 1}, {21, 42}, {33, 31}}
+	for _, c := range cases {
+		x, _ := Encrypt(rng, testSK, c[0], 3)
+		y, _ := Encrypt(rng, testSK, c[1], 3)
+		sum, err := ev.Add(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (c[0] + c[1]) % 64
+		if got := Decrypt(testSK, sum); got != want {
+			t.Errorf("%d+%d = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestAddDigitMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ev := New(tfhe.NewEvaluator(testEK))
+	x, _ := Encrypt(rng, testSK, 1, 2)
+	y, _ := Encrypt(rng, testSK, 1, 3)
+	if _, err := ev.Add(x, y); err == nil {
+		t.Error("digit mismatch should error")
+	}
+}
+
+func TestAddScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ev := New(tfhe.NewEvaluator(testEK))
+	x, _ := Encrypt(rng, testSK, 17, 3)
+	got, err := ev.AddScalar(x, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Decrypt(testSK, got); v != 47 {
+		t.Errorf("17+30 = %d", v)
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ev := New(tfhe.NewEvaluator(testEK))
+	x, _ := Encrypt(rng, testSK, 11, 3)
+	for _, c := range []int{0, 1, 3, 5} {
+		got, err := ev.MulScalar(x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (11 * c) % 64
+		if v := Decrypt(testSK, got); v != want {
+			t.Errorf("11*%d = %d, want %d", c, v, want)
+		}
+	}
+}
+
+func TestIsEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ev := New(tfhe.NewEvaluator(testEK))
+	cases := []struct {
+		a, b int
+		eq   int
+	}{{42, 42, 1}, {42, 43, 0}, {0, 0, 1}, {63, 0, 0}, {21, 22, 0}}
+	for _, c := range cases {
+		x, _ := Encrypt(rng, testSK, c.a, 3)
+		y, _ := Encrypt(rng, testSK, c.b, 3)
+		res, err := ev.IsEqual(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DecryptBit(testSK, res); got != c.eq {
+			t.Errorf("IsEqual(%d,%d) = %d, want %d", c.a, c.b, got, c.eq)
+		}
+	}
+}
+
+func TestIsEqualTooManyDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ev := New(tfhe.NewEvaluator(testEK))
+	big := Int{Digits: make([]tfhe.LWECiphertext, opSpace/2)}
+	for i := range big.Digits {
+		x, _ := Encrypt(rng, testSK, 0, 1)
+		big.Digits[i] = x.Digits[0]
+	}
+	if _, err := ev.IsEqual(big, big); err == nil {
+		t.Error("equality over too many digits should error")
+	}
+}
+
+func TestPBSCountPerAdd(t *testing.T) {
+	// 3-digit add: 2 PBS for digits 0,1 (carry+digit) + 1 for digit 2.
+	rng := rand.New(rand.NewSource(9))
+	ev := New(tfhe.NewEvaluator(testEK))
+	x, _ := Encrypt(rng, testSK, 5, 3)
+	y, _ := Encrypt(rng, testSK, 6, 3)
+	before := ev.Eval.Counters.PBSCount
+	if _, err := ev.Add(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Eval.Counters.PBSCount - before; got != 5 {
+		t.Errorf("3-digit add used %d bootstraps, want 5", got)
+	}
+}

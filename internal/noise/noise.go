@@ -1,0 +1,147 @@
+// Package noise provides the variance analysis of TFHE operations: closed
+// form predictions of the noise growth through external products, blind
+// rotation, modulus switching and keyswitching, following the analysis of
+// the TFHE papers the Strix paper builds on (refs [17], [43]).
+//
+// The predictions are validated against Monte-Carlo measurements of the
+// functional library (see noise_test.go), and they justify the parameter
+// choices in internal/tfhe: a gate bootstrap decrypts correctly when the
+// total phase deviation stays below the 1/16 decision margin.
+package noise
+
+import (
+	"math"
+
+	"repro/internal/tfhe"
+)
+
+// Budget describes an error budget: the maximum phase deviation the
+// encoding tolerates, and the predicted standard deviation.
+type Budget struct {
+	Margin  float64 // decision margin (torus distance)
+	StdDev  float64 // predicted phase standard deviation
+	Sigmas  float64 // margin / stddev
+	Failure float64 // two-sided gaussian tail probability at the margin
+}
+
+// Analyzer predicts noise variances for a parameter set.
+type Analyzer struct {
+	P tfhe.Params
+}
+
+// FreshLWEVariance returns the phase variance of a fresh LWE encryption.
+func (a Analyzer) FreshLWEVariance() float64 {
+	return a.P.LWEStdDev * a.P.LWEStdDev
+}
+
+// gadgetEpsilon2 returns the variance of the gadget rounding error for a
+// base-2^baseLog, level-l decomposition: the residue is uniform in
+// ±Q/(2·B^l), i.e. variance (1/B^l)²/12 in torus units.
+func gadgetEpsilon2(baseLog, level int) float64 {
+	q := math.Pow(2, -float64(baseLog*level))
+	return q * q / 12
+}
+
+// ExternalProductVariance returns the variance added to a GLWE ciphertext
+// by one external product with a fresh GGSW (per §V of TFHE [17]):
+//
+//	V_add = (k+1)·l·N·(B²/12)·σ_ggsw²  +  (1 + k·N/2)·ε²
+//
+// The first term is the decomposed-digit times key-noise contribution; the
+// second is the gadget rounding error propagated through the secret key
+// (binary key: expected weight N/2 per polynomial).
+func (a Analyzer) ExternalProductVariance() float64 {
+	p := a.P
+	b2 := math.Pow(2, 2*float64(p.PBSBaseLog)) / 12 // E[digit²] for balanced digits
+	keyTerm := float64((p.K+1)*p.PBSLevel) * float64(p.N) * b2 * p.GLWEStdDev * p.GLWEStdDev
+	eps2 := gadgetEpsilon2(p.PBSBaseLog, p.PBSLevel)
+	roundTerm := (1 + float64(p.K*p.N)/2) * eps2
+	return keyTerm + roundTerm
+}
+
+// BlindRotateVariance returns the accumulator variance after a full blind
+// rotation: n CMux external products.
+func (a Analyzer) BlindRotateVariance() float64 {
+	return float64(a.P.SmallN) * a.ExternalProductVariance()
+}
+
+// ModSwitchVariance returns the phase variance added by switching the LWE
+// ciphertext from modulus 2^32 to 2N: each of the n mask coefficients
+// rounds with variance (1/2N)²/12 and multiplies a key bit (E[s]=1/2),
+// plus the body's own rounding.
+func (a Analyzer) ModSwitchVariance() float64 {
+	step := 1.0 / float64(2*a.P.N)
+	r := step * step / 12
+	return r * (1 + float64(a.P.SmallN)/2)
+}
+
+// KeySwitchVariance returns the variance added by keyswitching from
+// dimension k·N to n:
+//
+//	V_ks = k·N·lk·(B²/12)·σ_ksk²  +  k·N·(1/2)·ε_ks²
+func (a Analyzer) KeySwitchVariance() float64 {
+	p := a.P
+	big := float64(p.ExtractedN())
+	b2 := math.Pow(2, 2*float64(p.KSBaseLog)) / 12
+	keyTerm := big * float64(p.KSLevel) * b2 * p.LWEStdDev * p.LWEStdDev
+	eps2 := gadgetEpsilon2(p.KSBaseLog, p.KSLevel)
+	return keyTerm + big/2*eps2
+}
+
+// BootstrapOutputVariance returns the phase variance of a PBS output after
+// keyswitching — the noise of a freshly bootstrapped ciphertext.
+func (a Analyzer) BootstrapOutputVariance() float64 {
+	return a.BlindRotateVariance() + a.KeySwitchVariance()
+}
+
+// GateNoiseStdDev returns the predicted phase standard deviation at the
+// *decision point* of a binary gate: two freshly bootstrapped inputs are
+// combined linearly, then the result is modulus-switched for the next
+// blind rotation.
+func (a Analyzer) GateNoiseStdDev() float64 {
+	v := 2*a.BootstrapOutputVariance() + a.ModSwitchVariance()
+	return math.Sqrt(v)
+}
+
+// GateBudget evaluates the gate-bootstrapping error budget: the boolean
+// encoding ±1/8 gives a 1/16 margin around the decision boundary.
+func (a Analyzer) GateBudget() Budget {
+	std := a.GateNoiseStdDev()
+	const margin = 1.0 / 16.0
+	return newBudget(margin, std)
+}
+
+// LUTBudget evaluates the PBS lookup-table budget for a message space:
+// slots have width 1/(2·space) and the input is centered, so the margin is
+// 1/(4·space).
+func (a Analyzer) LUTBudget(space int) Budget {
+	v := a.FreshLWEVariance() + a.ModSwitchVariance()
+	std := math.Sqrt(v)
+	return newBudget(1.0/float64(4*space), std)
+}
+
+func newBudget(margin, std float64) Budget {
+	sig := margin / std
+	return Budget{
+		Margin:  margin,
+		StdDev:  std,
+		Sigmas:  sig,
+		Failure: math.Erfc(sig / math.Sqrt2),
+	}
+}
+
+// MaxMessageSpace returns the largest power-of-two message space for which
+// the LUT budget keeps at least `sigmas` standard deviations of margin —
+// how much precision a parameter set supports (the reason the paper's set
+// IV exists: "better precision").
+func (a Analyzer) MaxMessageSpace(sigmas float64) int {
+	space := 2
+	for space <= 1<<20 {
+		next := space * 2
+		if a.LUTBudget(next).Sigmas < sigmas {
+			break
+		}
+		space = next
+	}
+	return space
+}

@@ -1,0 +1,143 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tfhe"
+	"repro/internal/torus"
+)
+
+func TestGateBudgetAllSets(t *testing.T) {
+	// Every standard parameter set must leave a healthy gate margin
+	// (otherwise the library's own gates would be unreliable).
+	for _, p := range append(tfhe.StandardSets(), tfhe.ParamsTest) {
+		b := Analyzer{P: p}.GateBudget()
+		if b.Sigmas < 4 {
+			t.Errorf("set %s: gate margin only %.1f sigmas (std %.2g)", p.Name, b.Sigmas, b.StdDev)
+		}
+		if b.Failure > 1e-4 {
+			t.Errorf("set %s: gate failure probability %.2g too high", p.Name, b.Failure)
+		}
+	}
+}
+
+func TestVariancesPositiveAndOrdered(t *testing.T) {
+	a := Analyzer{P: tfhe.ParamsI}
+	if a.ExternalProductVariance() <= 0 {
+		t.Fatal("external product variance must be positive")
+	}
+	if a.BlindRotateVariance() <= a.ExternalProductVariance() {
+		t.Error("blind rotation accumulates n external products")
+	}
+	if a.BootstrapOutputVariance() <= a.BlindRotateVariance() {
+		t.Error("keyswitching adds noise on top of blind rotation")
+	}
+}
+
+func TestSetIVSupportsMorePrecision(t *testing.T) {
+	// The paper introduces set IV for "better precision": its larger N
+	// must support a larger message space than set I at equal confidence.
+	s1 := Analyzer{P: tfhe.ParamsI}.MaxMessageSpace(4)
+	s4 := Analyzer{P: tfhe.ParamsIV}.MaxMessageSpace(4)
+	if s4 <= s1 {
+		t.Errorf("set IV max space %d should exceed set I's %d", s4, s1)
+	}
+	if s1 < 4 {
+		t.Errorf("set I should support at least 2-bit messages, got %d", s1)
+	}
+}
+
+func TestModSwitchVarianceShrinksWithN(t *testing.T) {
+	a1 := Analyzer{P: tfhe.ParamsI}  // N=1024
+	a4 := Analyzer{P: tfhe.ParamsIV} // N=16384
+	if a4.ModSwitchVariance() >= a1.ModSwitchVariance() {
+		t.Error("larger N should reduce modulus-switching noise")
+	}
+}
+
+// measureStd empirically measures the phase error of `trials` fresh
+// encrypt-operate-decrypt runs using fn, which returns the signed phase
+// deviation of one run.
+func measureStd(trials int, fn func(i int) float64) float64 {
+	var sumSq float64
+	for i := 0; i < trials; i++ {
+		d := fn(i)
+		sumSq += d * d
+	}
+	return math.Sqrt(sumSq / float64(trials))
+}
+
+func TestMonteCarloKeySwitchVariance(t *testing.T) {
+	// Empirical keyswitch noise must match the closed-form prediction
+	// within Monte-Carlo tolerance (x/÷ 1.5 at 200 trials).
+	p := tfhe.ParamsTest
+	rng := rand.New(rand.NewSource(11))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	ev := tfhe.NewEvaluator(ek)
+
+	pred := math.Sqrt(Analyzer{P: p}.KeySwitchVariance())
+	got := measureStd(200, func(i int) float64 {
+		mu := torus.EncodeMessage(i%8, 8)
+		ct := sk.BigLWE.Encrypt(rng, mu, 0) // zero input noise isolates KS noise
+		out := ev.KeySwitch(ct)
+		return torus.ToSignedFloat(sk.LWE.Phase(out) - mu)
+	})
+	if got > 1.5*pred || got < pred/1.5 {
+		t.Errorf("keyswitch noise std: measured %.3g, predicted %.3g", got, pred)
+	}
+}
+
+func TestMonteCarloBlindRotateVariance(t *testing.T) {
+	// Empirical PBS output noise (before KS) against the blind-rotation
+	// prediction. Uses the sign bootstrap so the ideal output is exactly
+	// ±1/8.
+	p := tfhe.ParamsTest
+	rng := rand.New(rand.NewSource(12))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	ev := tfhe.NewEvaluator(ek)
+
+	pred := math.Sqrt(Analyzer{P: p}.BlindRotateVariance())
+	mu := torus.FromFloat(0.125)
+	tv := ev.NewLUTTestVector(1, func(int) torus.Torus32 { return mu })
+
+	got := measureStd(40, func(i int) float64 {
+		ct := sk.LWE.Encrypt(rng, torus.FromFloat(0.25), p.LWEStdDev)
+		out := ev.Bootstrap(ct, tv)
+		return torus.ToSignedFloat(sk.BigLWE.Phase(out) - mu)
+	})
+	// The FFT path adds small rounding noise on top of the prediction;
+	// allow a factor 2 band.
+	if got > 2*pred || got < pred/3 {
+		t.Errorf("blind-rotate noise std: measured %.3g, predicted %.3g", got, pred)
+	}
+}
+
+func TestMonteCarloGateReliability(t *testing.T) {
+	// With the predicted margin >= 4 sigma, 100 random gates must all
+	// decrypt correctly.
+	p := tfhe.ParamsTest
+	rng := rand.New(rand.NewSource(13))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	ev := tfhe.NewEvaluator(ek)
+	for i := 0; i < 100; i++ {
+		a := rng.Intn(2) == 1
+		b := rng.Intn(2) == 1
+		ca := sk.EncryptBool(rng, a)
+		cb := sk.EncryptBool(rng, b)
+		if got := sk.DecryptBool(ev.NAND(ca, cb)); got != !(a && b) {
+			t.Fatalf("gate %d: NAND(%v,%v) = %v", i, a, b, got)
+		}
+	}
+}
+
+func TestBudgetFields(t *testing.T) {
+	b := newBudget(1.0/16, 1.0/160)
+	if math.Abs(b.Sigmas-10) > 1e-9 {
+		t.Errorf("sigmas = %v, want 10", b.Sigmas)
+	}
+	if b.Failure > 1e-20 {
+		t.Errorf("10-sigma failure %v should be negligible", b.Failure)
+	}
+}

@@ -1,0 +1,120 @@
+package poly
+
+import (
+	"fmt"
+
+	"repro/internal/torus"
+)
+
+// Decomposer performs the signed gadget decomposition of Eq. 3 in the paper:
+// a torus coefficient a is approximated by sum_{i=1..l} d_i · Q/B^i with
+// digits d_i in the balanced range (-B/2, B/2], leaving a rounding error of
+// at most Q/(2·B^l). B = 2^BaseLog and l = Level are the TFHE decomposition
+// parameters (lb in the paper).
+//
+// The hardware Decomposer Unit implements exactly this in two steps —
+// rounding then digit extraction via masking/shifting/adding (§V-B, Fig 6) —
+// and our implementation mirrors that structure so that the functional
+// library and the cycle model describe the same computation.
+type Decomposer struct {
+	BaseLog int // log2 of the decomposition base B
+	Level   int // number of levels l (lb)
+}
+
+// NewDecomposer validates and returns a decomposer.
+func NewDecomposer(baseLog, level int) Decomposer {
+	if baseLog <= 0 || level <= 0 || baseLog*level > 32 {
+		panic(fmt.Sprintf("poly: invalid gadget (baseLog=%d, level=%d)", baseLog, level))
+	}
+	return Decomposer{BaseLog: baseLog, Level: level}
+}
+
+// Round returns a rounded to the nearest multiple of Q/B^l = 2^(32-BaseLog·Level).
+// This is the "rounding step" of the hardware decomposer.
+func (d Decomposer) Round(a torus.Torus32) torus.Torus32 {
+	shift := uint(32 - d.BaseLog*d.Level)
+	if shift == 0 {
+		return a
+	}
+	half := torus.Torus32(1) << (shift - 1)
+	return (a + half) >> shift << shift
+}
+
+// Digits decomposes a single coefficient into Level signed digits, most
+// significant first, each in (-B/2, B/2]. The digits exactly recompose the
+// rounded value: sum_i digits[i] · 2^(32 - BaseLog·(i+1)) == Round(a).
+func (d Decomposer) Digits(a torus.Torus32) []int32 {
+	out := make([]int32, d.Level)
+	d.DigitsTo(out, a)
+	return out
+}
+
+// DigitsTo is Digits without allocation; out must have length Level.
+func (d Decomposer) DigitsTo(out []int32, a torus.Torus32) {
+	b := uint32(1) << uint(d.BaseLog)
+	mask := b - 1
+	half := b >> 1
+
+	r := d.Round(a)
+	// Extraction step: walk digits from least significant to most
+	// significant, carrying +1 whenever a digit exceeds B/2 so that every
+	// digit lands in the balanced range (-B/2, B/2].
+	carry := uint32(0)
+	for i := d.Level - 1; i >= 0; i-- {
+		shift := uint(32 - d.BaseLog*(i+1))
+		digit := (r>>shift)&mask + carry
+		carry = 0
+		if digit > half {
+			digit -= b // becomes negative in two's complement
+			carry = 1
+		}
+		out[i] = int32(digit)
+	}
+	// A final carry out of the most significant digit folds into the torus
+	// wraparound (adding 1 to the integer part is a no-op mod 1) and is
+	// dropped, exactly as in the reference TFHE libraries.
+}
+
+// Recompose inverts Digits: returns sum_i digits[i] · Q/B^(i+1).
+func (d Decomposer) Recompose(digits []int32) torus.Torus32 {
+	var acc torus.Torus32
+	for i, dg := range digits {
+		shift := uint(32 - d.BaseLog*(i+1))
+		acc += torus.Torus32(dg) << shift
+	}
+	return acc
+}
+
+// DecomposePoly decomposes every coefficient of p, returning Level digit
+// vectors (each of length N): result[lvl][j] is digit lvl of coefficient j.
+// This is the stream the Decomposer Unit feeds to the FFT units.
+func (d Decomposer) DecomposePoly(p Poly) [][]int32 {
+	n := p.N()
+	out := make([][]int32, d.Level)
+	for l := range out {
+		out[l] = make([]int32, n)
+	}
+	d.DecomposePolyTo(out, p)
+	return out
+}
+
+// DecomposePolyTo is DecomposePoly into caller-provided storage.
+func (d Decomposer) DecomposePolyTo(out [][]int32, p Poly) {
+	if len(out) != d.Level {
+		panic("poly: DecomposePolyTo level mismatch")
+	}
+	digits := make([]int32, d.Level)
+	for j, c := range p.Coeffs {
+		d.DigitsTo(digits, c)
+		for l := 0; l < d.Level; l++ {
+			out[l][j] = digits[l]
+		}
+	}
+}
+
+// MaxError returns the worst-case rounding error of the gadget, Q/(2·B^l)
+// expressed as a torus fraction. Eq. 3 guarantees decomposition error is
+// bounded by twice this (the ∞-norm bound Q/B^l).
+func (d Decomposer) MaxError() float64 {
+	return 1.0 / float64(uint64(1)<<uint(d.BaseLog*d.Level)) / 2.0
+}

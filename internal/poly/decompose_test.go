@@ -1,0 +1,160 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/torus"
+)
+
+func TestDecomposerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for baseLog*level > 32")
+		}
+	}()
+	NewDecomposer(17, 2)
+}
+
+func TestDigitsRecomposeRoundedValue(t *testing.T) {
+	// The digits must recompose exactly to the rounded coefficient for
+	// every gadget configuration used by the paper's parameter sets.
+	gadgets := []struct{ baseLog, level int }{{10, 2}, {8, 3}, {7, 3}, {4, 8}, {2, 8}}
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range gadgets {
+		d := NewDecomposer(g.baseLog, g.level)
+		for i := 0; i < 1000; i++ {
+			a := torus.Uniform32(rng)
+			digits := d.Digits(a)
+			if got, want := d.Recompose(digits), d.Round(a); got != want {
+				t.Fatalf("gadget %+v: recompose(%#x) = %#x, want %#x", g, a, got, want)
+			}
+		}
+	}
+}
+
+func TestDigitsBalancedRange(t *testing.T) {
+	d := NewDecomposer(10, 2)
+	half := int32(1) << 9
+	f := func(a uint32) bool {
+		for _, dg := range d.Digits(a) {
+			if dg <= -half || dg > half {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEq3ErrorBound(t *testing.T) {
+	// Eq. 3 of the paper: |a - sum digits·Q/B^i| <= Q/B^l (as torus
+	// fraction, 1/B^l). Rounding gives the tighter 1/(2·B^l).
+	d := NewDecomposer(10, 2)
+	bound := d.MaxError() // 1/(2·B^l)
+	f := func(a uint32) bool {
+		rec := d.Recompose(d.Digits(a))
+		return torus.Distance(a, rec) <= bound+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundIdempotent(t *testing.T) {
+	d := NewDecomposer(8, 3)
+	f := func(a uint32) bool {
+		r := d.Round(a)
+		return d.Round(r) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundFullPrecisionGadget(t *testing.T) {
+	// baseLog*level == 32: rounding is the identity.
+	d := NewDecomposer(4, 8)
+	f := func(a uint32) bool { return d.Round(a) == a }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposePolyShape(t *testing.T) {
+	d := NewDecomposer(10, 2)
+	p := New(64)
+	rng := rand.New(rand.NewSource(2))
+	Uniform(rng, p)
+	out := d.DecomposePoly(p)
+	if len(out) != 2 || len(out[0]) != 64 || len(out[1]) != 64 {
+		t.Fatalf("unexpected shape %dx%d", len(out), len(out[0]))
+	}
+}
+
+func TestDecomposePolyMatchesScalar(t *testing.T) {
+	d := NewDecomposer(8, 3)
+	rng := rand.New(rand.NewSource(3))
+	p := New(32)
+	Uniform(rng, p)
+	out := d.DecomposePoly(p)
+	for j, c := range p.Coeffs {
+		digits := d.Digits(c)
+		for l := 0; l < d.Level; l++ {
+			if out[l][j] != digits[l] {
+				t.Fatalf("coeff %d level %d mismatch", j, l)
+			}
+		}
+	}
+}
+
+func TestDecompositionLinearizesExternalProduct(t *testing.T) {
+	// The core identity used by the external product: for any polynomial p
+	// and small integer polynomial s, sum_l decomp_l(p) * (s · Q/B^(l+1))
+	// ==  Round(p) * s in the ring. We verify via naive multiplication.
+	n := 16
+	d := NewDecomposer(10, 2)
+	rng := rand.New(rand.NewSource(4))
+	p := New(n)
+	Uniform(rng, p)
+
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(rng.Intn(3) - 1) // ternary test "key"
+	}
+
+	// Right side: round p first, then multiply.
+	rounded := New(n)
+	for i, c := range p.Coeffs {
+		rounded.Coeffs[i] = d.Round(c)
+	}
+	want := MulNaive(rounded, s)
+
+	// Left side: per-level products of digit polys against gadget-scaled s.
+	decomp := d.DecomposePoly(p)
+	got := New(n)
+	for l := 0; l < d.Level; l++ {
+		shift := uint(32 - d.BaseLog*(l+1))
+		// gadget row: s scaled by Q/B^(l+1), as a torus polynomial.
+		row := New(n)
+		for i, si := range s {
+			row.Coeffs[i] = torus.Torus32(si) << shift
+		}
+		AddTo(got, MulNaive(row, decomp[l]))
+	}
+	if !got.Equal(want) {
+		t.Errorf("gadget linearization failed: max distance %v", MaxDistance(got, want))
+	}
+}
+
+func TestMaxErrorValue(t *testing.T) {
+	d := NewDecomposer(10, 2)
+	want := 1.0 / float64(uint64(1)<<20) / 2.0
+	if math.Abs(d.MaxError()-want) > 1e-18 {
+		t.Errorf("MaxError = %v, want %v", d.MaxError(), want)
+	}
+}

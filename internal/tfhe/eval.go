@@ -1,0 +1,166 @@
+package tfhe
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// Evaluator executes the server-side TFHE operations — programmable
+// bootstrapping (Algorithm 1) and keyswitching (Algorithm 2) — using a key
+// set. It owns reusable scratch buffers, so an Evaluator must not be shared
+// between goroutines; create one per worker.
+type Evaluator struct {
+	Params   Params
+	Keys     EvaluationKeys
+	Counters OpCounters // cumulative operation counts (see counters.go)
+
+	proc     *fft.Processor
+	gadget   poly.Decomposer
+	ksGadget poly.Decomposer
+
+	// scratch
+	epBuf    *externalProductBuffers
+	diff     GLWECiphertext
+	rot      GLWECiphertext
+	ksDigits []int32
+}
+
+// NewEvaluator builds an evaluator around the evaluation keys.
+func NewEvaluator(ek EvaluationKeys) *Evaluator {
+	p := ek.Params
+	e := &Evaluator{
+		Params:   p,
+		Keys:     ek,
+		proc:     fft.NewProcessor(p.N),
+		gadget:   poly.NewDecomposer(p.PBSBaseLog, p.PBSLevel),
+		ksGadget: poly.NewDecomposer(p.KSBaseLog, p.KSLevel),
+		diff:     NewGLWECiphertext(p.K, p.N),
+		rot:      NewGLWECiphertext(p.K, p.N),
+		ksDigits: make([]int32, p.KSLevel),
+	}
+	e.epBuf = newExternalProductBuffers(p.K, p.N, p.PBSLevel, e.proc)
+	return e
+}
+
+// BlindRotate runs the blind-rotation loop of Algorithm 1 on the test
+// vector testVec driven by ciphertext c, returning the rotated accumulator.
+// testVec is not modified.
+func (e *Evaluator) BlindRotate(c LWECiphertext, testVec GLWECiphertext) GLWECiphertext {
+	p := e.Params
+	twoN := 2 * p.N
+	if c.N() != p.SmallN {
+		panic(fmt.Sprintf("tfhe: BlindRotate expects LWE dimension n=%d, got %d", p.SmallN, c.N()))
+	}
+
+	// Modulus switching (Algorithm 1 lines 2–3).
+	bBar := torus.ModSwitch(c.B, twoN)
+	e.Counters.ModSwitches += int64(c.N() + 1)
+
+	// Initial rotation by -b (Algorithm 1 line 4: rotate 'left').
+	acc := NewGLWECiphertext(p.K, p.N)
+	testVec.RotateTo(acc, -bBar)
+	e.Counters.Rotations++
+
+	// n CMux iterations (lines 5–12).
+	for i := 0; i < p.SmallN; i++ {
+		aBar := torus.ModSwitch(c.A[i], twoN)
+		if aBar == 0 {
+			continue // rotation by X^0 is the identity; CMux is a no-op
+		}
+		CMuxRotateAcc(acc, aBar, e.Keys.BSK[i], e.gadget, e.proc, e.epBuf, e.diff, e.rot, &e.Counters)
+	}
+	return acc
+}
+
+// Bootstrap performs the full PBS (Algorithm 1): blind rotation of testVec
+// followed by sample extraction. The result is an LWE ciphertext of
+// dimension k·N under the extracted key.
+func (e *Evaluator) Bootstrap(c LWECiphertext, testVec GLWECiphertext) LWECiphertext {
+	acc := e.BlindRotate(c, testVec)
+	out := SampleExtract(acc)
+	e.Counters.SampleExtracts++
+	e.Counters.PBSCount++
+	return out
+}
+
+// KeySwitch converts an LWE ciphertext of dimension k·N (post-extraction)
+// back to dimension n under the original key — Algorithm 2.
+func (e *Evaluator) KeySwitch(c LWECiphertext) LWECiphertext {
+	p := e.Params
+	big := p.ExtractedN()
+	if c.N() != big {
+		panic(fmt.Sprintf("tfhe: KeySwitch expects LWE dimension kN=%d, got %d", big, c.N()))
+	}
+	out := NewLWECiphertext(p.SmallN)
+	out.B = c.B // Algorithm 2 line 2
+	for j := 0; j < big; j++ {
+		e.ksGadget.DigitsTo(e.ksDigits, c.A[j]) // line 3: decomposition
+		e.Counters.KSDecompScalar++
+		for l, d := range e.ksDigits {
+			if d == 0 {
+				continue
+			}
+			// Lines 4–6: o -= d · ksk[j][l] (vector-matrix multiply).
+			k := e.Keys.KSK[j][l]
+			for i := range out.A {
+				out.A[i] -= torus.Torus32(int32(k.A[i]) * d)
+			}
+			out.B -= torus.Torus32(int32(k.B) * d)
+			e.Counters.KSMACs += int64(p.SmallN + 1)
+		}
+	}
+	e.Counters.KSCount++
+	return out
+}
+
+// EncodePBSMessage encodes m ∈ {0..space-1} for PBS with a padding bit:
+// the torus value is m/(2·space), keeping the phase in [0, 1/2) so the
+// negacyclic wraparound never corrupts the lookup.
+func EncodePBSMessage(m, space int) torus.Torus32 {
+	return torus.EncodeMessage(((m%space)+space)%space, 2*space)
+}
+
+// DecodePBSMessage decodes a PBS-encoded torus value back to {0..space-1}.
+func DecodePBSMessage(t torus.Torus32, space int) int {
+	return torus.DecodeMessage(t, 2*space) % space
+}
+
+// NewLUTTestVector builds the GLWE test vector for a lookup table
+// f: {0..space-1} → Torus32. Slot j of the body holds f(⌊j·space/N⌋); the
+// caller must pre-shift the ciphertext phase by half a slot (EvalLUT does
+// this) so noise is centered inside the slot.
+func (e *Evaluator) NewLUTTestVector(space int, f func(int) torus.Torus32) GLWECiphertext {
+	p := e.Params
+	tv := NewGLWECiphertext(p.K, p.N)
+	body := tv.Body()
+	for j := 0; j < p.N; j++ {
+		m := j * space / p.N
+		body.Coeffs[j] = f(m % space)
+	}
+	return tv
+}
+
+// EvalLUT applies the univariate function f (on {0..space-1}) to the
+// encrypted message via programmable bootstrapping, returning a ciphertext
+// of dimension k·N encoding f(m) with the same padding-bit encoding.
+// The output of f must itself be in {0..space-1}.
+func (e *Evaluator) EvalLUT(c LWECiphertext, space int, f func(int) int) LWECiphertext {
+	tv := e.NewLUTTestVector(space, func(m int) torus.Torus32 {
+		return EncodePBSMessage(f(m), space)
+	})
+	// Half-slot shift centers each encoded message inside its slot so the
+	// lookup tolerates noise up to 1/(4·space).
+	shifted := c.Copy()
+	shifted.AddPlain(torus.EncodeMessage(1, 4*space))
+	e.Counters.LinearOps++
+	return e.Bootstrap(shifted, tv)
+}
+
+// EvalLUTKS is EvalLUT followed by keyswitching back to dimension n, the
+// PBS→KS sequence of §IV-C that the accelerator pipelines.
+func (e *Evaluator) EvalLUTKS(c LWECiphertext, space int, f func(int) int) LWECiphertext {
+	return e.KeySwitch(e.EvalLUT(c, space, f))
+}

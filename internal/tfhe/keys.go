@@ -1,0 +1,79 @@
+package tfhe
+
+import (
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// SecretKeys bundles the client-side secrets: the small LWE key (dimension
+// n) under which messages are encrypted, and the GLWE key used during
+// bootstrapping (whose extracted LWE key has dimension k·N).
+type SecretKeys struct {
+	Params Params
+	LWE    LWEKey  // dimension n
+	GLWE   GLWEKey // k polynomials of degree N-1
+	BigLWE LWEKey  // extracted key, dimension k·N
+}
+
+// EvaluationKeys bundles the public material the server (or accelerator)
+// needs: the bootstrapping key (n Fourier-domain GGSW ciphertexts) and the
+// keyswitching key (k·N·lk LWE ciphertexts), exactly the "parameters" of
+// §II-D.
+type EvaluationKeys struct {
+	Params Params
+	BSK    []GGSWFourier     // length n; BSK[i] encrypts LWE key bit s_i
+	KSK    [][]LWECiphertext // [kN][lk]; KSK[j][l] encrypts s'_j·Q/base^(l+1)
+}
+
+// GenerateKeys samples a full key set for params using the deterministic
+// source rng.
+func GenerateKeys(rng *rand.Rand, params Params) (SecretKeys, EvaluationKeys) {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	sk := SecretKeys{Params: params}
+	sk.LWE = NewLWEKey(rng, params.SmallN)
+	sk.GLWE = NewGLWEKey(rng, params.K, params.N)
+	sk.BigLWE = sk.GLWE.ExtractLWEKey()
+
+	proc := fft.NewProcessor(params.N)
+	gadget := poly.NewDecomposer(params.PBSBaseLog, params.PBSLevel)
+
+	ek := EvaluationKeys{Params: params}
+	ek.BSK = make([]GGSWFourier, params.SmallN)
+	for i := 0; i < params.SmallN; i++ {
+		ek.BSK[i] = EncryptGGSW(rng, sk.GLWE, sk.LWE.Bits[i], gadget, params.GLWEStdDev, proc)
+	}
+
+	ksGadget := poly.NewDecomposer(params.KSBaseLog, params.KSLevel)
+	big := params.ExtractedN()
+	ek.KSK = make([][]LWECiphertext, big)
+	for j := 0; j < big; j++ {
+		ek.KSK[j] = make([]LWECiphertext, params.KSLevel)
+		for l := 0; l < params.KSLevel; l++ {
+			shift := uint(32 - ksGadget.BaseLog*(l+1))
+			mu := torus.Torus32(sk.BigLWE.Bits[j]) << shift
+			ek.KSK[j][l] = sk.LWE.Encrypt(rng, mu, params.LWEStdDev)
+		}
+	}
+	return sk, ek
+}
+
+// BSKBytes returns the size in bytes of the Fourier-domain bootstrapping
+// key as streamed to the accelerator (N/2 complex values of 16 bytes per
+// polynomial). Used by the memory-traffic models.
+func (ek EvaluationKeys) BSKBytes() int64 {
+	p := ek.Params
+	polys := int64(p.SmallN) * int64(p.K+1) * int64(p.PBSLevel) * int64(p.K+1)
+	return polys * int64(p.N/2) * 16
+}
+
+// KSKBytes returns the size in bytes of the keyswitching key (32-bit
+// entries).
+func (ek EvaluationKeys) KSKBytes() int64 {
+	p := ek.Params
+	return int64(p.ExtractedN()) * int64(p.KSLevel) * int64(p.SmallN+1) * 4
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tfhe"
+	"repro/internal/torus"
+)
+
+// Microbenchmark describes a batch of independent PBS operations for the
+// Table V throughput/latency measurements.
+type Microbenchmark struct {
+	Params tfhe.Params
+	Count  int
+}
+
+// NewMicrobenchmark validates and returns a PBS microbenchmark.
+func NewMicrobenchmark(p tfhe.Params, count int) (Microbenchmark, error) {
+	if count < 1 {
+		return Microbenchmark{}, fmt.Errorf("workload: microbenchmark count %d must be >= 1", count)
+	}
+	if err := p.Validate(); err != nil {
+		return Microbenchmark{}, err
+	}
+	return Microbenchmark{Params: p, Count: count}, nil
+}
+
+// GenerateInputs produces `count` random encrypted messages under the key,
+// encoded for PBS with the given message space — functional inputs for
+// end-to-end validation runs.
+func GenerateInputs(rng *rand.Rand, sk tfhe.SecretKeys, space, count int) ([]tfhe.LWECiphertext, []int) {
+	cts := make([]tfhe.LWECiphertext, count)
+	msgs := make([]int, count)
+	for i := range cts {
+		msgs[i] = rng.Intn(space)
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(msgs[i], space), sk.Params.LWEStdDev)
+	}
+	return cts, msgs
+}
+
+// GateWorkload is a sequence of random binary gates over a pool of
+// encrypted booleans — the Fig 1 workload shape.
+type GateWorkload struct {
+	Gates []string
+}
+
+// NewGateWorkload draws `count` gates uniformly from the supported set.
+func NewGateWorkload(rng *rand.Rand, count int) GateWorkload {
+	kinds := []string{"NAND", "AND", "OR", "XOR", "NOR", "XNOR"}
+	g := GateWorkload{Gates: make([]string, count)}
+	for i := range g.Gates {
+		g.Gates[i] = kinds[rng.Intn(len(kinds))]
+	}
+	return g
+}
+
+// Execute runs the gate workload functionally with the evaluator over the
+// two encrypted operands, returning the final ciphertext (each gate feeds
+// one operand of the next — a dependency chain).
+func (g GateWorkload) Execute(ev *tfhe.Evaluator, a, b tfhe.LWECiphertext) tfhe.LWECiphertext {
+	cur := a
+	for _, kind := range g.Gates {
+		switch kind {
+		case "NAND":
+			cur = ev.NAND(cur, b)
+		case "AND":
+			cur = ev.AND(cur, b)
+		case "OR":
+			cur = ev.OR(cur, b)
+		case "XOR":
+			cur = ev.XOR(cur, b)
+		case "NOR":
+			cur = ev.NOR(cur, b)
+		case "XNOR":
+			cur = ev.XNOR(cur, b)
+		default:
+			panic("workload: unknown gate " + kind)
+		}
+	}
+	return cur
+}
+
+// ReLUTestVectorValue is the torus encoding of a ReLU lookup used by the
+// deep-NN functional spot checks: messages in [0, space) represent signed
+// values centered at space/2.
+func ReLUTestVectorValue(m, space int) torus.Torus32 {
+	half := space / 2
+	v := m - half // signed value
+	if v < 0 {
+		v = 0
+	}
+	return tfhe.EncodePBSMessage(v+half, space)
+}

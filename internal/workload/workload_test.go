@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tfhe"
+)
+
+func TestDeepNNLayerStructure(t *testing.T) {
+	nn, err := NewDeepNN(20, tfhe.ParamsII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := nn.LayerPBS()
+	if len(layers) != 20 {
+		t.Fatalf("NN-20 has %d layers", len(layers))
+	}
+	if layers[0] != 840 {
+		t.Errorf("conv layer PBS = %d, want 840 ([1,2,21,20])", layers[0])
+	}
+	for i := 1; i < 20; i++ {
+		if layers[i] != 92 {
+			t.Errorf("dense layer %d PBS = %d, want 92", i, layers[i])
+		}
+	}
+	if nn.TotalPBS() != 840+19*92 {
+		t.Errorf("total PBS = %d", nn.TotalPBS())
+	}
+}
+
+func TestDeepNNDepthValidation(t *testing.T) {
+	if _, err := NewDeepNN(1, tfhe.ParamsII); err == nil {
+		t.Error("depth 1 should error")
+	}
+}
+
+func TestNNParams(t *testing.T) {
+	for _, n := range []int{1024, 2048, 4096} {
+		p, err := NNParams(n)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if p.N != n {
+			t.Errorf("NNParams(%d).N = %d", n, p.N)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("N=%d params invalid: %v", n, err)
+		}
+	}
+	if _, err := NNParams(512); err == nil {
+		t.Error("unsupported N should error")
+	}
+}
+
+func TestFig7ModelsCount(t *testing.T) {
+	models, err := Fig7Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 9 {
+		t.Fatalf("Fig 7 has %d combinations, want 9", len(models))
+	}
+	// Deeper models must have strictly more PBS.
+	if models[0].TotalPBS() >= models[8].TotalPBS() {
+		t.Error("NN-100 should have more PBS than NN-20")
+	}
+}
+
+func TestMicrobenchmarkValidation(t *testing.T) {
+	if _, err := NewMicrobenchmark(tfhe.ParamsI, 0); err == nil {
+		t.Error("count 0 should error")
+	}
+	mb, err := NewMicrobenchmark(tfhe.ParamsI, 100)
+	if err != nil || mb.Count != 100 {
+		t.Errorf("microbenchmark: %+v, %v", mb, err)
+	}
+}
+
+func TestGenerateInputsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sk, _ := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	cts, msgs := GenerateInputs(rng, sk, 4, 16)
+	if len(cts) != 16 || len(msgs) != 16 {
+		t.Fatal("wrong count")
+	}
+	for i, ct := range cts {
+		got := tfhe.DecodePBSMessage(sk.LWE.Phase(ct), 4)
+		if got != msgs[i] {
+			t.Errorf("input %d decrypts to %d, want %d", i, got, msgs[i])
+		}
+	}
+}
+
+func TestGateWorkloadExecutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	ev := tfhe.NewEvaluator(ek)
+	g := NewGateWorkload(rng, 4)
+	a := sk.EncryptBool(rng, true)
+	b := sk.EncryptBool(rng, false)
+	out := g.Execute(ev, a, b)
+
+	// Compute the expected plaintext result.
+	cur := true
+	bb := false
+	for _, kind := range g.Gates {
+		switch kind {
+		case "NAND":
+			cur = !(cur && bb)
+		case "AND":
+			cur = cur && bb
+		case "OR":
+			cur = cur || bb
+		case "XOR":
+			cur = cur != bb
+		case "NOR":
+			cur = !(cur || bb)
+		case "XNOR":
+			cur = cur == bb
+		}
+	}
+	if got := sk.DecryptBool(out); got != cur {
+		t.Errorf("gate chain result %v, want %v (gates %v)", got, cur, g.Gates)
+	}
+	if ev.Counters.PBSCount != 4 {
+		t.Errorf("expected 4 bootstraps, got %d", ev.Counters.PBSCount)
+	}
+}
+
+func TestReLUTestVectorValue(t *testing.T) {
+	space := 8
+	// m=2 encodes signed -2 → ReLU → 0 → encoded space/2=4.
+	if got := ReLUTestVectorValue(2, space); got != tfhe.EncodePBSMessage(4, space) {
+		t.Error("negative input should clamp to zero")
+	}
+	// m=6 encodes signed +2 → stays 6.
+	if got := ReLUTestVectorValue(6, space); got != tfhe.EncodePBSMessage(6, space) {
+		t.Error("positive input should pass through")
+	}
+}

@@ -1,0 +1,134 @@
+// Package strix is the public API of the Strix reproduction: a functional
+// TFHE library with programmable bootstrapping (the computation the
+// accelerator executes) and a cycle-level model of the Strix accelerator
+// itself (MICRO 2023), together with the experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// The two halves compose: the FHE context runs real encrypted computation
+// bit-for-bit (validating the algorithms), while the accelerator model
+// predicts how fast Strix executes the same workload.
+//
+//	ctx, _ := strix.NewFHEContext("test", 42)
+//	a, b := ctx.EncryptBool(true), ctx.EncryptBool(false)
+//	fmt.Println(ctx.DecryptBool(ctx.Eval.NAND(a, b))) // true
+//
+//	acc, _ := strix.NewAccelerator("I")
+//	fmt.Println(acc.ThroughputPBS()) // ~74,696 PBS/s
+package strix
+
+import (
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/experiments"
+	"repro/internal/tfhe"
+)
+
+// FHEContext bundles a key set with an evaluator for end-to-end encrypted
+// computation. It is deterministic for a given seed.
+type FHEContext struct {
+	Params tfhe.Params
+	SK     tfhe.SecretKeys
+	EK     tfhe.EvaluationKeys
+	Eval   *tfhe.Evaluator
+	rng    *rand.Rand
+}
+
+// NewFHEContext generates keys for the named parameter set ("I".."IV" or
+// "test") and returns a ready-to-use context. Set "test" keeps key
+// generation and bootstrapping fast; the standard sets are substantially
+// slower but fully functional.
+func NewFHEContext(set string, seed int64) (*FHEContext, error) {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	return &FHEContext{
+		Params: p,
+		SK:     sk,
+		EK:     ek,
+		Eval:   tfhe.NewEvaluator(ek),
+		rng:    rng,
+	}, nil
+}
+
+// EncryptBool encrypts a boolean (±1/8 gate encoding).
+func (c *FHEContext) EncryptBool(b bool) tfhe.LWECiphertext {
+	return c.SK.EncryptBool(c.rng, b)
+}
+
+// DecryptBool decrypts a gate-encoded boolean of dimension n.
+func (c *FHEContext) DecryptBool(ct tfhe.LWECiphertext) bool {
+	return c.SK.DecryptBool(ct)
+}
+
+// EncryptInt encrypts m ∈ {0..space-1} with the PBS padding-bit encoding.
+func (c *FHEContext) EncryptInt(m, space int) tfhe.LWECiphertext {
+	return c.SK.LWE.Encrypt(c.rng, tfhe.EncodePBSMessage(m, space), c.Params.LWEStdDev)
+}
+
+// DecryptInt decrypts a PBS-encoded integer of dimension n.
+func (c *FHEContext) DecryptInt(ct tfhe.LWECiphertext, space int) int {
+	return tfhe.DecodePBSMessage(c.SK.LWE.Phase(ct), space)
+}
+
+// DecryptIntBig decrypts a PBS-encoded integer of dimension k·N (a PBS
+// output before keyswitching).
+func (c *FHEContext) DecryptIntBig(ct tfhe.LWECiphertext, space int) int {
+	return tfhe.DecodePBSMessage(c.SK.BigLWE.Phase(ct), space)
+}
+
+// Accelerator wraps the Strix performance model and epoch scheduler.
+type Accelerator struct {
+	Config arch.Config
+	Model  arch.Model
+	Chip   arch.Chip
+}
+
+// NewAccelerator builds the default 8-HSC Strix for a parameter set.
+func NewAccelerator(set string) (*Accelerator, error) {
+	return NewAcceleratorWithConfig(arch.DefaultConfig(), set)
+}
+
+// NewAcceleratorWithConfig builds a Strix with a custom configuration.
+func NewAcceleratorWithConfig(cfg arch.Config, set string) (*Accelerator, error) {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := arch.NewChip(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{Config: cfg, Model: chip.Model, Chip: chip}, nil
+}
+
+// ThroughputPBS returns sustained PBS/s.
+func (a *Accelerator) ThroughputPBS() float64 { return a.Model.ThroughputPBS() }
+
+// LatencyMs returns single-PBS latency in milliseconds.
+func (a *Accelerator) LatencyMs() float64 { return a.Model.LatencySeconds() * 1e3 }
+
+// RunPBS schedules count independent PBS+KS operations.
+func (a *Accelerator) RunPBS(count int) (arch.WorkloadResult, error) {
+	return a.Chip.RunPBS(count)
+}
+
+// RunLayers schedules dependent layers (e.g. a neural network).
+func (a *Accelerator) RunLayers(layers []int) (arch.WorkloadResult, error) {
+	return a.Chip.RunLayers(layers)
+}
+
+// RunExperiment regenerates one of the paper's tables/figures by ID
+// (see ExperimentIDs).
+func RunExperiment(id string) (experiments.Report, error) {
+	return experiments.Run(id)
+}
+
+// ExperimentIDs lists the available experiment IDs.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Version is the library version.
+const Version = "1.0.0"
