@@ -1,0 +1,39 @@
+# Local targets mirror the CI jobs one-to-one (.github/workflows/ci.yml),
+# so `make lint test race` reproduces a green pipeline before pushing.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint fmt fmt-check vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent packages: the worker-pool engine and the shared FFT
+# processor pool it leans on.
+race:
+	$(GO) test -race ./internal/engine/... ./internal/fft/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# One iteration per benchmark: proves every benchmark still runs without
+# paying for stable numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+lint: fmt-check vet
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "unformatted files:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

@@ -10,11 +10,14 @@ package strix
 // from `go run ./cmd/strixbench -exp all`.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/baseline"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/tfhe"
 	"repro/internal/workload"
@@ -173,6 +176,78 @@ func BenchmarkFig8CycleSim(b *testing.B) {
 		if _, err := sim.SimulateBlindRotate(3, tfhe.ParamsI.SmallN); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// batchWorkerCounts returns the worker counts to benchmark: 1, NumCPU, and
+// a midpoint when the machine is wide enough — the 1→NumCPU series is the
+// software scaling curve the accelerator's batch thesis predicts.
+func batchWorkerCounts() []int {
+	ncpu := runtime.NumCPU()
+	counts := []int{1}
+	if ncpu >= 4 {
+		counts = append(counts, ncpu/2)
+	}
+	if ncpu > 1 {
+		counts = append(counts, ncpu)
+	}
+	return counts
+}
+
+// BenchmarkBatchBootstrap measures the worker-pool engine on batches of
+// raw programmable bootstraps and reports PBS/s per worker count. With
+// workers=NumCPU on a multi-core machine this should scale near-linearly
+// over workers=1 (ciphertexts are independent; evaluators share nothing
+// but read-only keys).
+func BenchmarkBatchBootstrap(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const batch = 64
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		cts[i] = sk.EncryptBool(rng, i%2 == 0)
+	}
+	tv := tfhe.NewGLWECiphertext(tfhe.ParamsTest.K, tfhe.ParamsTest.N)
+	for _, w := range batchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := engine.New(ek, engine.Config{Workers: w})
+			eng.BatchBootstrap(cts[:8], tv) // warm the pool off the clock
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.BatchBootstrap(cts, tv)
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "PBS/s")
+		})
+	}
+}
+
+// BenchmarkBatchGate measures the full gate pipeline (linear combination +
+// PBS + KS per lane) through the engine — the software row to put next to
+// Table V's predicted throughputs.
+func BenchmarkBatchGate(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const batch = 64
+	as := make([]tfhe.LWECiphertext, batch)
+	bs := make([]tfhe.LWECiphertext, batch)
+	for i := range as {
+		as[i] = sk.EncryptBool(rng, i%2 == 0)
+		bs[i] = sk.EncryptBool(rng, i%3 == 0)
+	}
+	for _, w := range batchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := engine.New(ek, engine.Config{Workers: w})
+			if _, err := eng.BatchGate(engine.NAND, as[:8], bs[:8]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.BatchGate(engine.NAND, as, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "gates/s")
+		})
 	}
 }
 

@@ -1,33 +1,110 @@
 // Command strixbench regenerates the tables and figures of the Strix paper
-// (MICRO 2023) from the models in this repository.
+// (MICRO 2023) from the models in this repository, and measures the
+// software batch-bootstrapping engine against the model's predictions.
 //
 // Usage:
 //
 //	strixbench -list
 //	strixbench -exp all
 //	strixbench -exp table5 -format csv
-//	strixbench -exp fig1 -full   # Fig 1 with full-scale set I (slow)
+//	strixbench -exp fig1 -full         # Fig 1 with full-scale set I (slow)
+//	strixbench -batch 256              # measured vs predicted PBS/s, NumCPU workers
+//	strixbench -batch 256 -parallel 4  # ... with an explicit worker count
+//	strixbench -batch 64 -set I        # ... on a full-scale parameter set (slow)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
+	"repro/internal/arch"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/tfhe"
 )
+
+// runBatch measures the worker-pool engine on a batch of real PBS+KS gate
+// pipelines and prints the measured throughput next to the accelerator
+// model's prediction for the same parameter set.
+func runBatch(set string, batch, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	fmt.Printf("batch mode: set %s, %d PBS+KS per batch, %d workers\n", p.Name, batch, workers)
+	fmt.Print("generating keys... ")
+	start := time.Now()
+	rng := rand.New(rand.NewSource(1))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		cts[i] = sk.EncryptBool(rng, i%2 == 0)
+	}
+
+	// Warm one batch (first-touch twiddle tables, pool buffers), then time.
+	eng := engine.New(ek, engine.Config{Workers: workers})
+	if _, err := eng.BatchGate(engine.NAND, cts[:min(8, batch)], cts[:min(8, batch)]); err != nil {
+		return err
+	}
+	eng.ResetCounters()
+
+	start = time.Now()
+	if _, err := eng.BatchGate(engine.NAND, cts, cts); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	counters := eng.Counters()
+	measured := float64(counters.PBSCount) / elapsed.Seconds()
+
+	fmt.Printf("software : %d PBS (+KS) in %v  =  %.1f PBS/s  (%d workers)\n",
+		counters.PBSCount, elapsed.Round(time.Millisecond), measured, workers)
+
+	model, err := arch.NewModel(arch.DefaultConfig(), p)
+	if err != nil {
+		fmt.Printf("accelerator model unavailable for set %s: %v\n", p.Name, err)
+		return nil
+	}
+	predicted := model.ThroughputPBS()
+	fmt.Printf("strix    : predicted %.1f PBS/s  (%.0f× the software pool)\n",
+		predicted, predicted/measured)
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	format := flag.String("format", "text", "output format: text or csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	full := flag.Bool("full", false, "run fig1 with full-scale parameter set I (slow)")
+	batch := flag.Int("batch", 0, "software batch mode: PBS per batch (enables the mode)")
+	parallel := flag.Int("parallel", 0, "software batch mode: worker count (0 = NumCPU)")
+	set := flag.String("set", "test", "software batch mode: parameter set")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *batch != 0 {
+		if *batch < 0 {
+			fmt.Fprintf(os.Stderr, "strixbench: -batch must be positive, got %d\n", *batch)
+			os.Exit(1)
+		}
+		if err := runBatch(*set, *batch, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

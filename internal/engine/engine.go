@@ -1,0 +1,218 @@
+// Package engine provides a worker-pool batch-bootstrapping engine: the
+// software counterpart of the Strix accelerator's batch execution model.
+// The accelerator's whole throughput story (§III of the paper) rests on
+// batching independent programmable bootstrappings across many ciphertexts;
+// this package gives the functional TFHE library the same shape, so
+// measured software PBS/s can sit next to the performance model's
+// predicted PBS/s on the same axis.
+//
+// Each worker goroutine owns a private tfhe.Evaluator (evaluators carry
+// scratch buffers and must not be shared), all built from one shared,
+// read-only key set. Batches are split into chunks that workers claim from
+// an atomic cursor, which load-balances the tail without a scheduler.
+// Every server-side TFHE operation here is deterministic, so results are
+// bitwise identical for any worker count.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tfhe"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the number of worker goroutines (and private evaluators).
+	// 0 means runtime.NumCPU().
+	Workers int
+	// ChunkSize is the number of items a worker claims at a time. 0 picks
+	// a size that gives each worker ~4 chunks per batch, balancing claim
+	// overhead against tail latency.
+	ChunkSize int
+}
+
+// Engine executes batched TFHE operations over a pool of evaluators. Its
+// methods are safe for concurrent use: batches are serialized internally
+// while each batch fans out across the pool.
+type Engine struct {
+	mu      sync.Mutex
+	params  tfhe.Params
+	evals   []*tfhe.Evaluator
+	chunk   int
+	batches int64 // completed batch calls, for diagnostics
+}
+
+// New builds an engine over the evaluation keys. The keys are shared
+// read-only by every worker; only per-evaluator scratch is private.
+func New(ek tfhe.EvaluationKeys, cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	e := &Engine{params: ek.Params, evals: make([]*tfhe.Evaluator, w), chunk: cfg.ChunkSize}
+	for i := range e.evals {
+		e.evals[i] = tfhe.NewEvaluator(ek)
+	}
+	return e
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return len(e.evals) }
+
+// Params returns the parameter set the engine operates under.
+func (e *Engine) Params() tfhe.Params { return e.params }
+
+// Batches returns how many batch calls have completed.
+func (e *Engine) Batches() int64 { return atomic.LoadInt64(&e.batches) }
+
+// Counters returns the aggregated operation counters across all workers
+// since construction (or the last ResetCounters).
+func (e *Engine) Counters() tfhe.OpCounters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total tfhe.OpCounters
+	for _, ev := range e.evals {
+		total.Add(ev.Counters)
+	}
+	return total
+}
+
+// ResetCounters zeroes every worker's counters.
+func (e *Engine) ResetCounters() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ev := range e.evals {
+		ev.Counters.Reset()
+	}
+}
+
+// chunkFor picks the claim granularity for a batch of n items.
+func (e *Engine) chunkFor(n int) int {
+	if e.chunk > 0 {
+		return e.chunk
+	}
+	c := n / (4 * len(e.evals))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// run distributes items 0..n-1 over the worker pool. job must only touch
+// item i and its evaluator. Callers hold e.mu, so one batch runs at a time
+// and counter aggregation never races with in-flight work.
+func (e *Engine) run(n int, job func(ev *tfhe.Evaluator, i int)) {
+	if n == 0 {
+		return
+	}
+	workers := len(e.evals)
+	if workers > n {
+		workers = n
+	}
+	chunk := e.chunkFor(n)
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ev *tfhe.Evaluator) {
+			defer wg.Done()
+			for {
+				end := int(atomic.AddInt64(&cursor, int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					job(ev, i)
+				}
+			}
+		}(e.evals[w])
+	}
+	wg.Wait()
+	atomic.AddInt64(&e.batches, 1)
+}
+
+// checkDims panics (from the caller's goroutine, so it is recoverable and
+// carries the item index) unless every ciphertext has mask length want.
+// The underlying tfhe evaluator panics on dimension mismatch too, but from
+// inside a worker goroutine — which would abort the whole process.
+func checkDims(op string, cts []tfhe.LWECiphertext, want int) {
+	for i, ct := range cts {
+		if ct.N() != want {
+			panic(fmt.Sprintf("engine: %s: ciphertext %d has LWE dimension %d, want %d", op, i, ct.N(), want))
+		}
+	}
+}
+
+// BatchBootstrap runs the programmable bootstrap (Algorithm 1) on every
+// ciphertext against the shared test vector, returning big-key (k·N)
+// outputs in input order. testVec is read-only and shared by all workers.
+func (e *Engine) BatchBootstrap(cts []tfhe.LWECiphertext, testVec tfhe.GLWECiphertext) []tfhe.LWECiphertext {
+	checkDims("BatchBootstrap", cts, e.params.SmallN)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]tfhe.LWECiphertext, len(cts))
+	e.run(len(cts), func(ev *tfhe.Evaluator, i int) {
+		out[i] = ev.Bootstrap(cts[i], testVec)
+	})
+	return out
+}
+
+// BatchKeySwitch runs Algorithm 2 on every big-key ciphertext, returning
+// dimension-n outputs in input order.
+func (e *Engine) BatchKeySwitch(cts []tfhe.LWECiphertext) []tfhe.LWECiphertext {
+	checkDims("BatchKeySwitch", cts, e.params.ExtractedN())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]tfhe.LWECiphertext, len(cts))
+	e.run(len(cts), func(ev *tfhe.Evaluator, i int) {
+		out[i] = ev.KeySwitch(cts[i])
+	})
+	return out
+}
+
+// BatchEvalLUT applies the lookup table f (on {0..space-1}) to every
+// ciphertext via PBS + keyswitch — the full §IV-C pipeline per item.
+func (e *Engine) BatchEvalLUT(cts []tfhe.LWECiphertext, space int, f func(int) int) []tfhe.LWECiphertext {
+	checkDims("BatchEvalLUT", cts, e.params.SmallN)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]tfhe.LWECiphertext, len(cts))
+	e.run(len(cts), func(ev *tfhe.Evaluator, i int) {
+		out[i] = ev.EvalLUTKS(cts[i], space, f)
+	})
+	return out
+}
+
+// BatchGate applies one binary gate pairwise: out[i] = op(a[i], b[i]).
+// For the unary NOT, b may be nil.
+func (e *Engine) BatchGate(op GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	if op == NOT {
+		if b != nil && len(b) != len(a) {
+			return nil, fmt.Errorf("engine: NOT takes one operand, got b of length %d", len(b))
+		}
+	} else if len(a) != len(b) {
+		return nil, fmt.Errorf("engine: operand length mismatch: %d vs %d", len(a), len(b))
+	}
+	checkDims("BatchGate", a, e.params.SmallN)
+	if op != NOT {
+		checkDims("BatchGate", b, e.params.SmallN)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]tfhe.LWECiphertext, len(a))
+	e.run(len(a), func(ev *tfhe.Evaluator, i int) {
+		if op == NOT {
+			out[i] = applyGate(ev, op, a[i], tfhe.LWECiphertext{})
+		} else {
+			out[i] = applyGate(ev, op, a[i], b[i])
+		}
+	})
+	return out, nil
+}

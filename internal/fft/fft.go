@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/poly"
 	"repro/internal/torus"
@@ -39,6 +40,8 @@ type Processor struct {
 	wFwd  []complex128 // forward stage twiddles, e^(+2πi j / M) powers
 	wInv  []complex128 // inverse stage twiddles, e^(-2πi j / M) powers
 	rev   []int        // bit-reversal permutation for size M
+
+	bufPool sync.Pool // *FourierPoly scratch buffers (see GetBuffer)
 }
 
 // NewProcessor returns a Processor for negacyclic polynomials of size n

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fft"
 	"repro/internal/poly"
 	"repro/internal/torus"
 )
@@ -33,7 +34,7 @@ type UnrolledBSK struct {
 // GenerateUnrolledBSK builds the unrolled key for the secret keys.
 func GenerateUnrolledBSK(rng *rand.Rand, sk SecretKeys) UnrolledBSK {
 	p := sk.Params
-	proc := sharedProcessor(p.N)
+	proc := fft.SharedProcessor(p.N)
 	gadget := poly.NewDecomposer(p.PBSBaseLog, p.PBSLevel)
 
 	n := p.SmallN

@@ -34,7 +34,7 @@ func NewEvaluator(ek EvaluationKeys) *Evaluator {
 	e := &Evaluator{
 		Params:   p,
 		Keys:     ek,
-		proc:     fft.NewProcessor(p.N),
+		proc:     fft.SharedProcessor(p.N),
 		gadget:   poly.NewDecomposer(p.PBSBaseLog, p.PBSLevel),
 		ksGadget: poly.NewDecomposer(p.KSBaseLog, p.KSLevel),
 		diff:     NewGLWECiphertext(p.K, p.N),

@@ -100,14 +100,21 @@ func (k GLWEKey) PolyN() int { return k.n }
 // The a·s products use the exact FFT fast path (binary keys keep product
 // magnitudes within double precision).
 func (k GLWEKey) Encrypt(rng *rand.Rand, mu poly.Poly, sigma float64) GLWECiphertext {
-	proc := sharedProcessor(k.n)
+	proc := fft.SharedProcessor(k.n)
 	c := NewGLWECiphertext(k.K(), k.n)
-	acc := proc.NewFourierPoly()
+	acc := proc.GetBuffer()
+	fa := proc.GetBuffer()
+	fs := proc.GetBuffer()
 	for i := 0; i < k.K(); i++ {
 		poly.Uniform(rng, c.Polys[i])
-		fft.MulAcc(acc, proc.ForwardTorus(c.Polys[i]), proc.ForwardInt(k.Polys[i]))
+		proc.ForwardTorusTo(fa, c.Polys[i])
+		proc.ForwardIntTo(fs, k.Polys[i])
+		fft.MulAcc(acc, fa, fs)
 	}
 	proc.InverseTo(c.Body(), acc)
+	proc.PutBuffer(acc)
+	proc.PutBuffer(fa)
+	proc.PutBuffer(fs)
 	for j := 0; j < k.n; j++ {
 		c.Body().Coeffs[j] += torus.Gaussian32(rng, mu.Coeffs[j], sigma)
 	}

@@ -39,7 +39,7 @@ func GenerateKeys(rng *rand.Rand, params Params) (SecretKeys, EvaluationKeys) {
 	sk.GLWE = NewGLWEKey(rng, params.K, params.N)
 	sk.BigLWE = sk.GLWE.ExtractLWEKey()
 
-	proc := fft.NewProcessor(params.N)
+	proc := fft.SharedProcessor(params.N)
 	gadget := poly.NewDecomposer(params.PBSBaseLog, params.PBSLevel)
 
 	ek := EvaluationKeys{Params: params}

@@ -14,12 +14,28 @@
 //
 //	acc, _ := strix.NewAccelerator("I")
 //	fmt.Println(acc.ThroughputPBS()) // ~74,696 PBS/s
+//
+// Batched execution — the accelerator's raison d'être — has a software
+// counterpart: the context's engine fans independent gates (one PBS + KS
+// each) out over a pool of per-goroutine evaluators, so measured PBS/s can
+// be compared directly with the model's prediction:
+//
+//	xs := ctx.EncryptBools([]bool{true, false, true, true})
+//	ys := ctx.EncryptBools([]bool{true, true, false, true})
+//	outs, _ := ctx.BatchGate(strix.NAND, xs, ys) // all four in parallel
+//	fmt.Println(ctx.DecryptBools(outs))          // [false true true false]
+//
+// Worker count defaults to runtime.NumCPU(); use NewEngine for control
+// over pool size and chunking, and Engine().Counters() for the aggregate
+// operation mix.
 package strix
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/tfhe"
 )
@@ -32,6 +48,9 @@ type FHEContext struct {
 	EK     tfhe.EvaluationKeys
 	Eval   *tfhe.Evaluator
 	rng    *rand.Rand
+
+	engOnce sync.Once
+	eng     *engine.Engine
 }
 
 // NewFHEContext generates keys for the named parameter set ("I".."IV" or
@@ -78,6 +97,68 @@ func (c *FHEContext) DecryptInt(ct tfhe.LWECiphertext, space int) int {
 // output before keyswitching).
 func (c *FHEContext) DecryptIntBig(ct tfhe.LWECiphertext, space int) int {
 	return tfhe.DecodePBSMessage(c.SK.BigLWE.Phase(ct), space)
+}
+
+// GateOp identifies a boolean gate for the batch APIs.
+type GateOp = engine.GateOp
+
+// Gate is one gate of a dependency-free circuit level (see EvalCircuit).
+type Gate = engine.Gate
+
+// Gate mnemonics, re-exported so callers outside the module never touch
+// the internal engine package.
+const (
+	NAND = engine.NAND
+	AND  = engine.AND
+	OR   = engine.OR
+	NOR  = engine.NOR
+	XOR  = engine.XOR
+	XNOR = engine.XNOR
+	NOT  = engine.NOT
+)
+
+// Engine returns the context's default batch engine (one worker per CPU),
+// building it on first use. The engine shares the context's evaluation
+// keys; see NewEngine for a custom pool size.
+func (c *FHEContext) Engine() *engine.Engine {
+	c.engOnce.Do(func() { c.eng = engine.New(c.EK, engine.Config{}) })
+	return c.eng
+}
+
+// NewEngine returns a fresh batch engine over this context's keys with the
+// given worker count (0 = runtime.NumCPU()).
+func (c *FHEContext) NewEngine(workers int) *engine.Engine {
+	return engine.New(c.EK, engine.Config{Workers: workers})
+}
+
+// EncryptBools encrypts a slice of booleans (±1/8 gate encoding).
+func (c *FHEContext) EncryptBools(bs []bool) []tfhe.LWECiphertext {
+	cts := make([]tfhe.LWECiphertext, len(bs))
+	for i, b := range bs {
+		cts[i] = c.EncryptBool(b)
+	}
+	return cts
+}
+
+// DecryptBools decrypts a slice of gate-encoded booleans.
+func (c *FHEContext) DecryptBools(cts []tfhe.LWECiphertext) []bool {
+	bs := make([]bool, len(cts))
+	for i, ct := range cts {
+		bs[i] = c.DecryptBool(ct)
+	}
+	return bs
+}
+
+// BatchGate applies one gate pairwise over two ciphertext slices on the
+// default engine: out[i] = op(a[i], b[i]), all items in parallel.
+func (c *FHEContext) BatchGate(op GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return c.Engine().BatchGate(op, a, b)
+}
+
+// EvalCircuit evaluates a dependency-free gate list over the input wires
+// on the default engine, one output per gate.
+func (c *FHEContext) EvalCircuit(inputs []tfhe.LWECiphertext, gates []Gate) ([]tfhe.LWECiphertext, error) {
+	return c.Engine().EvalCircuit(inputs, gates)
 }
 
 // Accelerator wraps the Strix performance model and epoch scheduler.

@@ -31,6 +31,44 @@ func TestFHEContextIntLUT(t *testing.T) {
 	}
 }
 
+func TestFHEContextBatchGate(t *testing.T) {
+	ctx, err := NewFHEContext("test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []bool{true, false, true, true, false}
+	ys := []bool{true, true, false, true, false}
+	as := ctx.EncryptBools(xs)
+	bs := ctx.EncryptBools(ys)
+
+	outs, err := ctx.BatchGate(NAND, as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range ctx.DecryptBools(outs) {
+		if want := !(xs[i] && ys[i]); got != want {
+			t.Errorf("NAND[%d] = %v, want %v", i, got, want)
+		}
+	}
+	if c := ctx.Engine().Counters(); c.PBSCount != int64(len(xs)) {
+		t.Errorf("engine PBSCount = %d, want %d", c.PBSCount, len(xs))
+	}
+
+	// A dependency-free circuit level through the public facade.
+	outs, err = ctx.EvalCircuit(as, []Gate{{Op: XOR, A: 0, B: 1}, {Op: NOT, A: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := ctx.DecryptBools(outs)
+	if dec[0] != (xs[0] != xs[1]) || dec[1] != !xs[2] {
+		t.Errorf("EvalCircuit decryptions = %v", dec)
+	}
+
+	if ctx.NewEngine(2).Workers() != 2 {
+		t.Error("NewEngine(2) should build a 2-worker pool")
+	}
+}
+
 func TestFHEContextDeterministic(t *testing.T) {
 	a, _ := NewFHEContext("test", 5)
 	b, _ := NewFHEContext("test", 5)
