@@ -251,6 +251,87 @@ func BenchmarkBatchGate(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamGate measures the two-level streaming pipeline on the
+// full gate workload (linear combination + PBS + fused KS per lane) and
+// reports PBS/s per rotate-worker count — the streaming row to compare
+// against BenchmarkBatchGate's flat worker pool at the same width.
+func BenchmarkStreamGate(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const batch = 64
+	as := make([]tfhe.LWECiphertext, batch)
+	bs := make([]tfhe.LWECiphertext, batch)
+	for i := range as {
+		as[i] = sk.EncryptBool(rng, i%2 == 0)
+		bs[i] = sk.EncryptBool(rng, i%3 == 0)
+	}
+	for _, w := range batchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: w})
+			if _, err := s.StreamGate(engine.NAND, as[:8], bs[:8]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.StreamGate(engine.NAND, as, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "PBS/s")
+		})
+	}
+}
+
+// BenchmarkStreamBootstrap measures the streamed raw PBS (no keyswitch,
+// shared test vector) per rotate-worker count, the streaming counterpart
+// of BenchmarkBatchBootstrap.
+func BenchmarkStreamBootstrap(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const batch = 64
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		cts[i] = sk.EncryptBool(rng, i%2 == 0)
+	}
+	tv := tfhe.NewGLWECiphertext(tfhe.ParamsTest.K, tfhe.ParamsTest.N)
+	for _, w := range batchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: w})
+			s.StreamBootstrap(cts[:8], tv) // warm the pipeline off the clock
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StreamBootstrap(cts, tv)
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "PBS/s")
+		})
+	}
+}
+
+// BenchmarkStreamLUT measures the fused §IV-C LUT pipeline (shift → PBS →
+// keyswitch) with the LUT encoded once per stream.
+func BenchmarkStreamLUT(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const batch = 64
+	const space = 8
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(i%space, space), tfhe.ParamsTest.LWEStdDev)
+	}
+	sq := func(x int) int { return (x * x) % space }
+	for _, w := range batchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: w})
+			s.StreamLUT(cts[:8], space, sq)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StreamLUT(cts, space, sq)
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "PBS/s")
+		})
+	}
+}
+
 // BenchmarkAllExperiments regenerates the entire evaluation section.
 func BenchmarkAllExperiments(b *testing.B) {
 	for i := 0; i < b.N; i++ {

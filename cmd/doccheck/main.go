@@ -1,0 +1,231 @@
+// Command doccheck enforces the repository's documentation contract: every
+// checked package must carry a package comment, and every exported
+// identifier — functions, methods on exported types, types, consts and
+// vars — must have a doc comment (a comment on a const/var group documents
+// the whole group). It is the `make docs` / CI gate, a dependency-free
+// stand-in for revive's exported rule.
+//
+// Usage:
+//
+//	doccheck ./internal/...        # check all packages under internal/
+//	doccheck ./internal/tfhe .     # explicit directories ('...' recurses)
+//
+// Exit status is 1 if any finding is reported, with one "file:line:
+// finding" per offending identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expand resolves "dir/..." patterns to the list of directories that
+// contain non-test Go files. A pattern that matches no Go package is an
+// error, so a typo'd path can never turn the gate into a silent no-op.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) bool {
+		if seen[dir] {
+			return true
+		}
+		if !hasGoFiles(dir) {
+			return false
+		}
+		seen[dir] = true
+		dirs = append(dirs, dir)
+		return true
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			matched := false
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() && add(path) {
+					matched = true
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %s matched no Go packages", pat)
+			}
+			continue
+		}
+		if !add(pat) {
+			return nil, fmt.Errorf("%s contains no Go files", pat)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses the non-test files of one package directory and returns
+// its findings.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+
+	hasPkgDoc := false
+	for _, f := range files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		report(files[0].Package, "package %s has no package comment", files[0].Name.Name)
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				if d.Doc == nil {
+					report(d.Pos(), "exported %s %s is undocumented", kindOf(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(d, report)
+			}
+		}
+	}
+	return findings, nil
+}
+
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// exportedRecv reports whether d is a plain function or a method on an
+// exported type (methods on unexported types are not part of the API).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl reports undocumented exported types, consts and vars. A doc
+// comment on a const/var group documents every name in the group; types
+// require a doc on the spec or on a single-spec declaration.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if ts.Doc == nil && d.Doc == nil {
+				report(ts.Pos(), "exported type %s is undocumented", ts.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		if d.Doc != nil {
+			return // a group comment covers every member
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if vs.Doc != nil || vs.Comment != nil {
+				continue // per-spec doc or trailing comment
+			}
+			for _, name := range vs.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported %s %s is undocumented", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

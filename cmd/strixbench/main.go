@@ -11,6 +11,8 @@
 //	strixbench -batch 256              # measured vs predicted PBS/s, NumCPU workers
 //	strixbench -batch 256 -parallel 4  # ... with an explicit worker count
 //	strixbench -batch 64 -set I        # ... on a full-scale parameter set (slow)
+//	strixbench -stream 256             # two-level streaming pipeline PBS/s
+//	strixbench -stream 256 -parallel 4 # ... with 4 blind-rotate workers
 package main
 
 import (
@@ -80,14 +82,69 @@ func runBatch(set string, batch, workers int) error {
 	return nil
 }
 
+// runStream measures the two-level streaming pipeline (modswitch → blind
+// rotate → extract → fused keyswitch, shared sign test vector) on a batch
+// of gate pipelines and prints measured PBS/s next to the accelerator
+// model's prediction, on the same axis as -batch.
+func runStream(set string, batch, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	fmt.Printf("stream mode: set %s, %d PBS+KS per stream, %d rotate workers\n", p.Name, batch, workers)
+	fmt.Print("generating keys... ")
+	start := time.Now()
+	rng := rand.New(rand.NewSource(1))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		cts[i] = sk.EncryptBool(rng, i%2 == 0)
+	}
+
+	// Warm one short stream (twiddle tables, stage goroutine paths), then time.
+	s := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: workers})
+	if _, err := s.StreamGate(engine.NAND, cts[:min(8, batch)], cts[:min(8, batch)]); err != nil {
+		return err
+	}
+	s.ResetCounters()
+
+	start = time.Now()
+	if _, err := s.StreamGate(engine.NAND, cts, cts); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	counters := s.Counters()
+	measured := float64(counters.PBSCount) / elapsed.Seconds()
+
+	fmt.Printf("software : %d PBS (+fused KS) in %v  =  %.1f PBS/s  (%d rotate + %d KS workers)\n",
+		counters.PBSCount, elapsed.Round(time.Millisecond), measured, s.RotateWorkers(), s.KSWorkers())
+
+	model, err := arch.NewModel(arch.DefaultConfig(), p)
+	if err != nil {
+		fmt.Printf("accelerator model unavailable for set %s: %v\n", p.Name, err)
+		return nil
+	}
+	predicted := model.ThroughputPBS()
+	fmt.Printf("strix    : predicted %.1f PBS/s  (%.0f× the software pipeline)\n",
+		predicted, predicted/measured)
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	format := flag.String("format", "text", "output format: text or csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	full := flag.Bool("full", false, "run fig1 with full-scale parameter set I (slow)")
 	batch := flag.Int("batch", 0, "software batch mode: PBS per batch (enables the mode)")
-	parallel := flag.Int("parallel", 0, "software batch mode: worker count (0 = NumCPU)")
-	set := flag.String("set", "test", "software batch mode: parameter set")
+	stream := flag.Int("stream", 0, "streaming pipeline mode: PBS per stream (enables the mode)")
+	parallel := flag.Int("parallel", 0, "batch/stream mode: worker count (0 = NumCPU)")
+	set := flag.String("set", "test", "batch/stream mode: parameter set")
 	flag.Parse()
 
 	if *list {
@@ -97,12 +154,29 @@ func main() {
 		return
 	}
 
+	if *batch != 0 && *stream != 0 {
+		fmt.Fprintln(os.Stderr, "strixbench: -batch and -stream are mutually exclusive; run them separately")
+		os.Exit(1)
+	}
+
 	if *batch != 0 {
 		if *batch < 0 {
 			fmt.Fprintf(os.Stderr, "strixbench: -batch must be positive, got %d\n", *batch)
 			os.Exit(1)
 		}
 		if err := runBatch(*set, *batch, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *stream != 0 {
+		if *stream < 0 {
+			fmt.Fprintf(os.Stderr, "strixbench: -stream must be positive, got %d\n", *stream)
+			os.Exit(1)
+		}
+		if err := runStream(*set, *stream, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "strixbench:", err)
 			os.Exit(1)
 		}

@@ -1,15 +1,3 @@
-// Package arch models the Strix accelerator: the Homomorphic Streaming
-// Cores with their five functional units (§V), the two-level memory system
-// and NoC (§IV-B), the epoch scheduler with device-level and core-level
-// batching (§IV-C), and the area/power model (Table III).
-//
-// Two engines coexist and are tested against each other:
-//
-//   - an analytic model (analytic.go) with the closed-form stage intervals
-//     derived from the unit throughputs of §V, and
-//   - a cycle-level simulator (hsc.go) that schedules every polynomial
-//     through every pipelined functional unit and produces the timing
-//     traces of Fig 8.
 package arch
 
 import (

@@ -1,8 +1,3 @@
-// Package baseline models the platforms Strix is compared against in the
-// paper's evaluation: the Concrete CPU library (Fig 1, Table V), the NuFHE
-// GPU library with its device-level batching and blind-rotation
-// fragmentation (Fig 2, Table V), and the published FPGA/ASIC comparators
-// (Table V).
 package baseline
 
 import (

@@ -1,0 +1,5 @@
+// Package cycle provides the discrete-event primitives for the Strix
+// cycle-level simulator: a cycle clock, pipelined hardware resources with
+// initiation intervals, and an interval trace recorder that produces the
+// utilization numbers and Gantt charts of the paper's Fig 8.
+package cycle

@@ -9,6 +9,8 @@ import (
 // GateOp identifies a boolean gate the engine can batch.
 type GateOp int
 
+// The gate mnemonics, in truth-table order. All binary gates cost one
+// PBS + KS; NOT is linear and free.
 const (
 	NAND GateOp = iota
 	AND
@@ -39,26 +41,16 @@ func ParseGate(s string) (GateOp, error) {
 	return 0, fmt.Errorf("engine: unknown gate %q", s)
 }
 
-// applyGate dispatches one gate on one worker's evaluator.
+// applyGate dispatches one whole gate on one worker's evaluator: the
+// linear stage (gateInput, the single op switch shared with the streaming
+// pipeline) followed by the sign bootstrap and keyswitch, unless the gate
+// is fully linear. Identical to calling the evaluator's gate method.
 func applyGate(ev *tfhe.Evaluator, op GateOp, a, b tfhe.LWECiphertext) tfhe.LWECiphertext {
-	switch op {
-	case NAND:
-		return ev.NAND(a, b)
-	case AND:
-		return ev.AND(a, b)
-	case OR:
-		return ev.OR(a, b)
-	case NOR:
-		return ev.NOR(a, b)
-	case XOR:
-		return ev.XOR(a, b)
-	case XNOR:
-		return ev.XNOR(a, b)
-	case NOT:
-		return ev.NOT(a)
-	default:
-		panic(fmt.Sprintf("engine: unknown gate %d", int(op)))
+	in, done := gateInput(ev, op, a, b)
+	if done {
+		return in
 	}
+	return ev.KeySwitch(ev.Bootstrap(in, ev.SignTestVector()))
 }
 
 // Eval returns the plaintext truth value of the gate — the reference the

@@ -1,0 +1,26 @@
+// Package engine provides a worker-pool batch-bootstrapping engine: the
+// software counterpart of the Strix accelerator's batch execution model.
+// The accelerator's whole throughput story (§III of the paper) rests on
+// batching independent programmable bootstrappings across many ciphertexts;
+// this package gives the functional TFHE library the same shape, so
+// measured software PBS/s can sit next to the performance model's
+// predicted PBS/s on the same axis.
+//
+// Two execution shapes coexist:
+//
+//   - Engine is the flat worker pool: each worker owns a whole PBS(+KS)
+//     end to end. Batches are split into chunks that workers claim from an
+//     atomic cursor, which load-balances the tail without a scheduler.
+//   - StreamingEngine (pipeline.go) mirrors the paper's streaming
+//     architecture with two-level ciphertext batching (§IV): ciphertexts
+//     flow through channel-connected specialized stages (modswitch →
+//     blind rotate → sample extract → fused keyswitch), the encoded test
+//     vector/LUT is shared by the whole stream, and each CMux step's
+//     decompositions and forward FFTs run as one batched burst.
+//
+// Each worker goroutine owns a private tfhe.Evaluator (evaluators carry
+// scratch buffers and must not be shared), all built from one shared,
+// read-only key set. Every server-side TFHE operation here is
+// deterministic, so both engines return results bitwise identical to the
+// sequential evaluator for any worker or stage configuration.
+package engine

@@ -1,17 +1,3 @@
-// Package engine provides a worker-pool batch-bootstrapping engine: the
-// software counterpart of the Strix accelerator's batch execution model.
-// The accelerator's whole throughput story (§III of the paper) rests on
-// batching independent programmable bootstrappings across many ciphertexts;
-// this package gives the functional TFHE library the same shape, so
-// measured software PBS/s can sit next to the performance model's
-// predicted PBS/s on the same axis.
-//
-// Each worker goroutine owns a private tfhe.Evaluator (evaluators carry
-// scratch buffers and must not be shared), all built from one shared,
-// read-only key set. Batches are split into chunks that workers claim from
-// an atomic cursor, which load-balances the tail without a scheduler.
-// Every server-side TFHE operation here is deterministic, so results are
-// bitwise identical for any worker count.
 package engine
 
 import (
@@ -190,19 +176,33 @@ func (e *Engine) BatchEvalLUT(cts []tfhe.LWECiphertext, space int, f func(int) i
 	return out
 }
 
+// validateGateOperands rejects unknown ops and mismatched operand lengths
+// or dimensions for the pairwise gate APIs (BatchGate, StreamGate) before
+// any worker goroutine starts, so every failure surfaces as an error or a
+// recoverable caller-side panic — never a panic inside a worker.
+func validateGateOperands(api string, params tfhe.Params, op GateOp, a, b []tfhe.LWECiphertext) error {
+	if op < 0 || int(op) >= len(gateNames) {
+		return fmt.Errorf("engine: %s: unknown gate %d", api, int(op))
+	}
+	if op == NOT {
+		if b != nil && len(b) != len(a) {
+			return fmt.Errorf("engine: %s: NOT takes one operand, got b of length %d", api, len(b))
+		}
+	} else if len(a) != len(b) {
+		return fmt.Errorf("engine: %s: operand length mismatch: %d vs %d", api, len(a), len(b))
+	}
+	checkDims(api, a, params.SmallN)
+	if op != NOT {
+		checkDims(api, b, params.SmallN)
+	}
+	return nil
+}
+
 // BatchGate applies one binary gate pairwise: out[i] = op(a[i], b[i]).
 // For the unary NOT, b may be nil.
 func (e *Engine) BatchGate(op GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
-	if op == NOT {
-		if b != nil && len(b) != len(a) {
-			return nil, fmt.Errorf("engine: NOT takes one operand, got b of length %d", len(b))
-		}
-	} else if len(a) != len(b) {
-		return nil, fmt.Errorf("engine: operand length mismatch: %d vs %d", len(a), len(b))
-	}
-	checkDims("BatchGate", a, e.params.SmallN)
-	if op != NOT {
-		checkDims("BatchGate", b, e.params.SmallN)
+	if err := validateGateOperands("BatchGate", e.params, op, a, b); err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -199,6 +199,9 @@ func TestValidation(t *testing.T) {
 	if _, err := eng.BatchGate(AND, cts[:2], cts[:3]); err == nil {
 		t.Fatal("BatchGate accepted mismatched operand lengths")
 	}
+	if _, err := eng.BatchGate(GateOp(99), cts[:2], cts[:2]); err == nil {
+		t.Fatal("BatchGate accepted an unknown op")
+	}
 	if _, err := eng.EvalCircuit(cts, []Gate{{Op: AND, A: 0, B: 7}}); err == nil {
 		t.Fatal("EvalCircuit accepted an out-of-range wire index")
 	}

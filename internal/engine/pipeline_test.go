@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/tfhe"
+)
+
+// streamConfigs returns the stage/worker configurations the equivalence
+// tests sweep: degenerate single-worker pipelines, skewed stage widths,
+// and the NumCPU default. The streaming contract is bitwise equality with
+// the sequential evaluator for every one of them.
+func streamConfigs() []StreamConfig {
+	cfgs := []StreamConfig{
+		{RotateWorkers: 1, KSWorkers: 1, Depth: 1},
+		{RotateWorkers: 2, KSWorkers: 1},
+		{RotateWorkers: 3, KSWorkers: 2, Depth: 2},
+		{}, // defaults: NumCPU rotate workers
+	}
+	if n := runtime.NumCPU(); n > 3 {
+		cfgs = append(cfgs, StreamConfig{RotateWorkers: n, KSWorkers: n})
+	}
+	return cfgs
+}
+
+// TestStreamGateMatchesSequential is the streaming engine's core property
+// test: for random plaintexts and every gate, StreamGate's output is
+// bitwise-equal to the sequential Evaluator's, for every stage/worker
+// configuration. Runs under -race in CI (make race).
+func TestStreamGateMatchesSequential(t *testing.T) {
+	sk, ek, cts, pts := testSetup(t, 31, 16)
+	serial := tfhe.NewEvaluator(ek)
+	ops := []GateOp{NAND, AND, OR, NOR, XOR, XNOR, NOT}
+
+	// Sequential references, computed once per op.
+	want := make(map[GateOp][]tfhe.LWECiphertext)
+	for _, op := range ops {
+		ref := make([]tfhe.LWECiphertext, 8)
+		for i := range ref {
+			ref[i] = applyGate(serial, op, cts[i], cts[8+i])
+		}
+		want[op] = ref
+	}
+
+	for _, cfg := range streamConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("rot=%d_ks=%d_depth=%d", cfg.RotateWorkers, cfg.KSWorkers, cfg.Depth), func(t *testing.T) {
+			s := NewStreaming(ek, cfg)
+			for _, op := range ops {
+				var got []tfhe.LWECiphertext
+				var err error
+				if op == NOT {
+					got, err = s.StreamGate(op, cts[:8], nil)
+				} else {
+					got, err = s.StreamGate(op, cts[:8], cts[8:])
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if !ctEqual(got[i], want[op][i]) {
+						t.Fatalf("%s output %d differs bitwise from the sequential evaluator", op, i)
+					}
+					dec := sk.DecryptBool(got[i])
+					if exp := op.Eval(pts[i], pts[8+i]); dec != exp {
+						t.Fatalf("%s output %d decrypts to %v, want %v", op, i, dec, exp)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamLUTMatchesSequential pins StreamLUT to the sequential
+// EvalLUTKS (§IV-C pipeline) bitwise, across random lookup tables and
+// messages, for every stage/worker configuration.
+func TestStreamLUTMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	serial := tfhe.NewEvaluator(ek)
+
+	const space = 8
+	const batch = 10
+	msgs := make([]int, batch)
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		msgs[i] = rng.Intn(space)
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(msgs[i], space), tfhe.ParamsTest.LWEStdDev)
+	}
+
+	// A random lookup table per round, shared by stream and reference.
+	for round := 0; round < 2; round++ {
+		table := make([]int, space)
+		for i := range table {
+			table[i] = rng.Intn(space)
+		}
+		f := func(x int) int { return table[x] }
+
+		want := make([]tfhe.LWECiphertext, batch)
+		for i := range want {
+			want[i] = serial.EvalLUTKS(cts[i], space, f)
+		}
+		for _, cfg := range streamConfigs() {
+			s := NewStreaming(ek, cfg)
+			got := s.StreamLUT(cts, space, f)
+			for i := range got {
+				if !ctEqual(got[i], want[i]) {
+					t.Fatalf("round %d cfg %+v: LUT output %d differs bitwise from EvalLUTKS", round, cfg, i)
+				}
+				if dec := tfhe.DecodePBSMessage(sk.LWE.Phase(got[i]), space); dec != f(msgs[i]) {
+					t.Fatalf("LUT output %d decrypts to %d, want %d", i, dec, f(msgs[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBootstrapMatchesSequential pins the raw streamed PBS (no
+// keyswitch) to the sequential Bootstrap bitwise, sharing one test vector
+// across the stream.
+func TestStreamBootstrapMatchesSequential(t *testing.T) {
+	_, ek, cts, _ := testSetup(t, 35, 12)
+	serial := tfhe.NewEvaluator(ek)
+
+	tv := tfhe.NewGLWECiphertext(tfhe.ParamsTest.K, tfhe.ParamsTest.N)
+	for j := range tv.Body().Coeffs {
+		tv.Body().Coeffs[j] = uint32(j) << 19
+	}
+	want := make([]tfhe.LWECiphertext, len(cts))
+	for i := range want {
+		want[i] = serial.Bootstrap(cts[i], tv)
+	}
+	for _, cfg := range streamConfigs() {
+		s := NewStreaming(ek, cfg)
+		got := s.StreamBootstrap(cts, tv)
+		for i := range got {
+			if !ctEqual(got[i], want[i]) {
+				t.Fatalf("cfg %+v: bootstrap output %d differs bitwise from sequential", cfg, i)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesBatchEngine cross-checks the two engines against each
+// other: the flat worker pool and the staged pipeline must agree bitwise
+// on the same batch (both are pinned to the sequential evaluator, so this
+// is a consistency triangle).
+func TestStreamMatchesBatchEngine(t *testing.T) {
+	_, ek, cts, _ := testSetup(t, 37, 12)
+	flat := New(ek, Config{Workers: 3})
+	s := NewStreaming(ek, StreamConfig{RotateWorkers: 3, KSWorkers: 2})
+
+	a, err := flat.BatchGate(XNOR, cts[:6], cts[6:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.StreamGate(XNOR, cts[:6], cts[6:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !ctEqual(a[i], b[i]) {
+			t.Fatalf("output %d: batch engine and streaming engine disagree", i)
+		}
+	}
+}
+
+// TestStreamCounters checks that the §IV-C fused pipeline accounts for
+// exactly one PBS and one KS per binary gate, aggregated across all stage
+// workers, and that the free NOT bypasses the PBS stages.
+func TestStreamCounters(t *testing.T) {
+	_, ek, cts, _ := testSetup(t, 39, 8)
+	s := NewStreaming(ek, StreamConfig{RotateWorkers: 2, KSWorkers: 2})
+
+	if c := s.Counters(); c.PBSCount != 0 {
+		t.Fatalf("fresh streaming engine PBSCount = %d", c.PBSCount)
+	}
+	if _, err := s.StreamGate(AND, cts[:4], cts[4:]); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.PBSCount != 4 || c.KSCount != 4 || c.SampleExtracts != 4 {
+		t.Fatalf("after 4 gates: PBS=%d KS=%d extracts=%d, want 4/4/4", c.PBSCount, c.KSCount, c.SampleExtracts)
+	}
+
+	// NOT is linear: no PBS, no KS.
+	if _, err := s.StreamGate(NOT, cts[:4], nil); err != nil {
+		t.Fatal(err)
+	}
+	c = s.Counters()
+	if c.PBSCount != 4 || c.KSCount != 4 {
+		t.Fatalf("NOT performed a bootstrap: PBS=%d KS=%d", c.PBSCount, c.KSCount)
+	}
+	if s.Streams() != 2 {
+		t.Fatalf("Streams = %d, want 2", s.Streams())
+	}
+
+	s.ResetCounters()
+	if c = s.Counters(); c != (tfhe.OpCounters{}) {
+		t.Fatalf("counters not zero after reset: %+v", c)
+	}
+}
+
+// TestStreamValidation covers the error and edge paths of the stream API.
+func TestStreamValidation(t *testing.T) {
+	_, ek, cts, _ := testSetup(t, 41, 4)
+	s := NewStreaming(ek, StreamConfig{RotateWorkers: 2})
+
+	if _, err := s.StreamGate(AND, cts[:2], cts[:3]); err == nil {
+		t.Fatal("StreamGate accepted mismatched operand lengths")
+	}
+	if _, err := s.StreamGate(GateOp(99), cts[:2], cts[:2]); err == nil {
+		t.Fatal("StreamGate accepted an unknown op")
+	}
+	if _, err := s.StreamGate(NOT, cts[:2], cts[:3]); err == nil {
+		t.Fatal("StreamGate NOT accepted a mismatched second operand")
+	}
+	if out, err := s.StreamGate(OR, nil, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty StreamGate: %v, %v", out, err)
+	}
+	if out := s.StreamLUT(nil, 8, func(x int) int { return x }); len(out) != 0 {
+		t.Fatalf("empty StreamLUT returned %d outputs", len(out))
+	}
+
+	big := s.StreamBootstrap(cts, tfhe.NewGLWECiphertext(tfhe.ParamsTest.K, tfhe.ParamsTest.N))
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s accepted wrong-dimension ciphertexts", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("StreamBootstrap", func() { s.StreamBootstrap(big, tfhe.NewGLWECiphertext(tfhe.ParamsTest.K, tfhe.ParamsTest.N)) })
+	mustPanic("StreamLUT", func() { s.StreamLUT(big, 8, func(x int) int { return x }) })
+	mustPanic("StreamGate", func() { s.StreamGate(AND, big[:2], big[2:]) })
+
+	// The engine must still be usable after a recovered panic.
+	if out, err := s.StreamGate(NAND, cts[:2], cts[2:]); err != nil || len(out) != 2 {
+		t.Fatalf("engine unusable after recovered panic: %v, %v", out, err)
+	}
+}
+
+// TestStreamConcurrentCalls submits streams from several goroutines at
+// once; the engine serializes them internally. Run with -race in CI.
+func TestStreamConcurrentCalls(t *testing.T) {
+	sk, ek, cts, pts := testSetup(t, 43, 8)
+	s := NewStreaming(ek, StreamConfig{})
+
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			out, err := s.StreamGate(OR, cts[:4], cts[4:])
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := range out {
+				if got := sk.DecryptBool(out[i]); got != (pts[i] || pts[4+i]) {
+					done <- fmt.Errorf("concurrent stream output %d decrypts wrong", i)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.Counters(); c.PBSCount != 16 {
+		t.Fatalf("PBSCount = %d after 4 concurrent streams of 4, want 16", c.PBSCount)
+	}
+}

@@ -1,0 +1,65 @@
+package fft
+
+// Batch entry points: the level-2 batching surface of the streaming
+// pipeline. The Strix FFT units never see a lone polynomial — the
+// Decomposer Unit emits all (k+1)·lb digit polynomials of one CMux step as
+// a burst, and the FFT array consumes the burst as a unit (§V-A). These
+// methods give the software the same call shape, so a pipeline stage can
+// hand a whole decomposition to the transform layer in one call and the
+// per-call bookkeeping (bounds checks, dispatch) is paid once per burst
+// instead of once per polynomial.
+//
+// Each transform in a batch is the exact computation of the corresponding
+// single-polynomial method, applied in slice order, so batched and
+// one-at-a-time execution produce bitwise-identical results — the property
+// the streaming engine's equivalence tests pin down.
+
+import "repro/internal/poly"
+
+// ForwardIntBatchTo transforms each small-integer polynomial srcs[i] into
+// dsts[i]. It is exactly ForwardIntTo applied in order; dsts and srcs must
+// have equal length.
+func (p *Processor) ForwardIntBatchTo(dsts []FourierPoly, srcs [][]int32) {
+	if len(dsts) != len(srcs) {
+		panic("fft: ForwardIntBatchTo batch size mismatch")
+	}
+	for i := range srcs {
+		p.ForwardIntTo(dsts[i], srcs[i])
+	}
+}
+
+// ForwardTorusBatchTo transforms each torus polynomial srcs[i] into
+// dsts[i]. It is exactly ForwardTorusTo applied in order; dsts and srcs
+// must have equal length.
+func (p *Processor) ForwardTorusBatchTo(dsts []FourierPoly, srcs []poly.Poly) {
+	if len(dsts) != len(srcs) {
+		panic("fft: ForwardTorusBatchTo batch size mismatch")
+	}
+	for i := range srcs {
+		p.ForwardTorusTo(dsts[i], srcs[i])
+	}
+}
+
+// InverseBatchTo transforms each Fourier polynomial fps[i] back into the
+// time domain, adding the rounded result into dsts[i] (the additive
+// Accumulator Unit convention of InverseTo). Every fps[i] is clobbered.
+func (p *Processor) InverseBatchTo(dsts []poly.Poly, fps []FourierPoly) {
+	if len(dsts) != len(fps) {
+		panic("fft: InverseBatchTo batch size mismatch")
+	}
+	for i := range fps {
+		p.InverseTo(dsts[i], fps[i])
+	}
+}
+
+// NewFourierPolyBatch allocates count zero FourierPolys backed by one
+// contiguous complex slab, so a burst of transforms stays cache-adjacent
+// the way the hardware's ping-pong buffers keep a CMux step's polynomials.
+func (p *Processor) NewFourierPolyBatch(count int) []FourierPoly {
+	slab := make([]complex128, count*p.m)
+	out := make([]FourierPoly, count)
+	for i := range out {
+		out[i] = slab[i*p.m : (i+1)*p.m : (i+1)*p.m]
+	}
+	return out
+}

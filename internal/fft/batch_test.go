@@ -1,0 +1,117 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// TestBatchMatchesSingle pins the batch entry points to their
+// single-polynomial counterparts bitwise: transforming a burst must be
+// exactly the per-polynomial transforms applied in order.
+func TestBatchMatchesSingle(t *testing.T) {
+	const n, count = 64, 7
+	p := NewProcessor(n)
+	rng := rand.New(rand.NewSource(17))
+
+	ints := make([][]int32, count)
+	tors := make([]poly.Poly, count)
+	for i := range ints {
+		ints[i] = make([]int32, n)
+		tors[i] = poly.New(n)
+		for j := 0; j < n; j++ {
+			ints[i][j] = int32(rng.Intn(257)) - 128
+			tors[i].Coeffs[j] = torus.Torus32(rng.Uint32())
+		}
+	}
+
+	// Forward int: batch vs single.
+	batchI := p.NewFourierPolyBatch(count)
+	p.ForwardIntBatchTo(batchI, ints)
+	for i := range ints {
+		single := p.ForwardInt(ints[i])
+		for j := range single {
+			if single[j] != batchI[i][j] {
+				t.Fatalf("ForwardIntBatchTo poly %d coeff %d differs from ForwardInt", i, j)
+			}
+		}
+	}
+
+	// Forward torus: batch vs single.
+	batchT := p.NewFourierPolyBatch(count)
+	p.ForwardTorusBatchTo(batchT, tors)
+	for i := range tors {
+		single := p.ForwardTorus(tors[i])
+		for j := range single {
+			if single[j] != batchT[i][j] {
+				t.Fatalf("ForwardTorusBatchTo poly %d coeff %d differs from ForwardTorus", i, j)
+			}
+		}
+	}
+
+	// Inverse: batch vs single (both additive; clobber separate copies).
+	dstB := make([]poly.Poly, count)
+	for i := range dstB {
+		dstB[i] = poly.New(n)
+	}
+	fpsB := make([]FourierPoly, count)
+	fpsS := make([]FourierPoly, count)
+	for i := range fpsB {
+		fpsB[i] = Copy(batchT[i])
+		fpsS[i] = Copy(batchT[i])
+	}
+	p.InverseBatchTo(dstB, fpsB)
+	for i := range fpsS {
+		single := p.Inverse(fpsS[i])
+		for j := 0; j < n; j++ {
+			if single.Coeffs[j] != dstB[i].Coeffs[j] {
+				t.Fatalf("InverseBatchTo poly %d coeff %d differs from Inverse", i, j)
+			}
+		}
+	}
+}
+
+// TestBatchSizeMismatchPanics checks the batch guard rails.
+func TestBatchSizeMismatchPanics(t *testing.T) {
+	p := NewProcessor(16)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s accepted mismatched batch sizes", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ForwardIntBatchTo", func() {
+		p.ForwardIntBatchTo(p.NewFourierPolyBatch(2), make([][]int32, 3))
+	})
+	mustPanic("ForwardTorusBatchTo", func() {
+		p.ForwardTorusBatchTo(p.NewFourierPolyBatch(1), make([]poly.Poly, 2))
+	})
+	mustPanic("InverseBatchTo", func() {
+		p.InverseBatchTo(make([]poly.Poly, 2), p.NewFourierPolyBatch(1))
+	})
+}
+
+// TestNewFourierPolyBatch checks the contiguous slab layout: every
+// FourierPoly has length M, capacity clipped at M, and writes to one
+// never alias a neighbour.
+func TestNewFourierPolyBatch(t *testing.T) {
+	p := NewProcessor(32)
+	batch := p.NewFourierPolyBatch(3)
+	if len(batch) != 3 {
+		t.Fatalf("batch length %d, want 3", len(batch))
+	}
+	for i, fp := range batch {
+		if len(fp) != p.M() || cap(fp) != p.M() {
+			t.Fatalf("poly %d: len=%d cap=%d, want %d/%d", i, len(fp), cap(fp), p.M(), p.M())
+		}
+	}
+	batch[1][0] = complex(1, 2)
+	if batch[0][p.M()-1] != 0 || batch[2][0] != 0 {
+		t.Fatal("write to one batch poly leaked into a neighbour")
+	}
+}

@@ -1,17 +1,3 @@
-// Package fft provides the Fourier substrate for negacyclic polynomial
-// multiplication in TFHE, implementing the *folding scheme* the Strix paper
-// adopts for its FFT units (§V-A, ref [48]): an N-coefficient negacyclic
-// polynomial is transformed with an N/2-point complex FFT by packing the
-// upper half of the coefficients into the imaginary lane and twisting by the
-// primitive 2N-th roots of unity.
-//
-// The forward transform evaluates a real polynomial P at the points
-// ω^(4k+1), ω = e^(iπ/N), k = 0..N/2-1 — one representative from each
-// conjugate pair of odd 2N-th roots, which is exactly the information needed
-// to multiply in Z[X]/(X^N+1). Pointwise products followed by the inverse
-// transform therefore compute the negacyclic product directly, with no
-// post-transform reordering — the property that lets the hardware pipeline
-// stream polynomials with no matrix transposition.
 package fft
 
 import (

@@ -1,10 +1,3 @@
-// Package intops builds multi-digit encrypted integer arithmetic on top of
-// the TFHE programmable bootstrap — the "operations for integer and
-// fixed-point numbers" extension of TFHE the paper cites (§II-B, refs
-// [34]-[38]). Integers are encrypted digit-wise in radix Base; carry
-// propagation, comparison and equality are evaluated with PBS lookup
-// tables, so every digit operation is exactly the PBS+KS workload the
-// Strix accelerator batches.
 package intops
 
 import (

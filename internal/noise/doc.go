@@ -1,0 +1,10 @@
+// Package noise provides the variance analysis of TFHE operations: closed
+// form predictions of the noise growth through external products, blind
+// rotation, modulus switching and keyswitching, following the analysis of
+// the TFHE papers the Strix paper builds on (refs [17], [43]).
+//
+// The predictions are validated against Monte-Carlo measurements of the
+// functional library (see noise_test.go), and they justify the parameter
+// choices in internal/tfhe: a gate bootstrap decrypts correctly when the
+// total phase deviation stays below the 1/16 decision margin.
+package noise

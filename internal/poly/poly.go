@@ -1,10 +1,3 @@
-// Package poly implements the negacyclic polynomial ring
-// Z_q[X]/(X^N + 1) with q = 2^32, the algebraic substrate of TFHE.
-//
-// Polynomials store N coefficients (N a power of two) as 32-bit torus
-// elements. Multiplication by X^k is the "negacyclic rotation" performed by
-// the Strix Rotator Unit; the signed gadget decomposition (Eq. 3 of the
-// paper) is the work of the Decomposer Unit.
 package poly
 
 import (

@@ -92,6 +92,7 @@ func (e *Evaluator) BlindRotateUnrolled(c LWECiphertext, testVec GLWECiphertext,
 	e.Counters.Rotations++
 
 	base := acc.Copy() // scratch for the pre-iteration accumulator
+	e.ensureRotateScratch()
 	diff := e.diff
 	rot := e.rot
 

@@ -40,7 +40,7 @@ func TestUnrolledBootstrapMatchesStandard(t *testing.T) {
 	u := GenerateUnrolledBSK(rng, sk)
 	ev := NewEvaluator(ek)
 
-	tv := ev.signTestVector()
+	tv := ev.SignTestVector()
 	for i := 0; i < 20; i++ {
 		b := rng.Intn(2) == 1
 		ct := sk.EncryptBool(rng, b)

@@ -21,69 +21,69 @@ type Evaluator struct {
 	gadget   poly.Decomposer
 	ksGadget poly.Decomposer
 
-	// scratch
+	// scratch; the blind-rotation buffers (epBuf, diff, rot) are built
+	// lazily on the first CMux so specialized pipeline-stage evaluators
+	// that never rotate (prepare, extract, keyswitch pools) stay light.
 	epBuf    *externalProductBuffers
 	diff     GLWECiphertext
 	rot      GLWECiphertext
 	ksDigits []int32
+	msBuf    []int // modswitch scratch for the sequential BlindRotate
 }
 
 // NewEvaluator builds an evaluator around the evaluation keys.
 func NewEvaluator(ek EvaluationKeys) *Evaluator {
 	p := ek.Params
-	e := &Evaluator{
+	return &Evaluator{
 		Params:   p,
 		Keys:     ek,
 		proc:     fft.SharedProcessor(p.N),
 		gadget:   poly.NewDecomposer(p.PBSBaseLog, p.PBSLevel),
 		ksGadget: poly.NewDecomposer(p.KSBaseLog, p.KSLevel),
-		diff:     NewGLWECiphertext(p.K, p.N),
-		rot:      NewGLWECiphertext(p.K, p.N),
 		ksDigits: make([]int32, p.KSLevel),
 	}
+}
+
+// ensureRotateScratch allocates the blind-rotation scratch buffers on
+// first use.
+func (e *Evaluator) ensureRotateScratch() {
+	if e.epBuf != nil {
+		return
+	}
+	p := e.Params
+	e.diff = NewGLWECiphertext(p.K, p.N)
+	e.rot = NewGLWECiphertext(p.K, p.N)
 	e.epBuf = newExternalProductBuffers(p.K, p.N, p.PBSLevel, e.proc)
-	return e
 }
 
 // BlindRotate runs the blind-rotation loop of Algorithm 1 on the test
 // vector testVec driven by ciphertext c, returning the rotated accumulator.
-// testVec is not modified.
+// testVec is not modified. It composes the pipeline stage primitives of
+// stages.go (modswitch → init → CMux steps) back-to-back, so the
+// sequential path and the streaming engine execute the same code.
 func (e *Evaluator) BlindRotate(c LWECiphertext, testVec GLWECiphertext) GLWECiphertext {
-	p := e.Params
-	twoN := 2 * p.N
-	if c.N() != p.SmallN {
-		panic(fmt.Sprintf("tfhe: BlindRotate expects LWE dimension n=%d, got %d", p.SmallN, c.N()))
-	}
-
-	// Modulus switching (Algorithm 1 lines 2–3).
-	bBar := torus.ModSwitch(c.B, twoN)
-	e.Counters.ModSwitches += int64(c.N() + 1)
-
-	// Initial rotation by -b (Algorithm 1 line 4: rotate 'left').
-	acc := NewGLWECiphertext(p.K, p.N)
-	testVec.RotateTo(acc, -bBar)
-	e.Counters.Rotations++
-
-	// n CMux iterations (lines 5–12).
-	for i := 0; i < p.SmallN; i++ {
-		aBar := torus.ModSwitch(c.A[i], twoN)
-		if aBar == 0 {
-			continue // rotation by X^0 is the identity; CMux is a no-op
-		}
-		CMuxRotateAcc(acc, aBar, e.Keys.BSK[i], e.gadget, e.proc, e.epBuf, e.diff, e.rot, &e.Counters)
-	}
+	ms := e.modSwitchScratch(c)           // Algorithm 1 lines 2–3
+	acc := e.BlindRotateInit(testVec, ms) // line 4: rotate 'left' by -b̄
+	e.BlindRotateSteps(acc, ms)           // lines 5–12: n CMux iterations
 	return acc
+}
+
+// modSwitchScratch is ModSwitchLWE into evaluator-owned scratch: the
+// sequential path consumes the rotation amounts before returning, so it
+// can skip the per-call allocation the streaming engine needs to hand
+// items between stages.
+func (e *Evaluator) modSwitchScratch(c LWECiphertext) ModSwitched {
+	if e.msBuf == nil {
+		e.msBuf = make([]int, e.Params.SmallN)
+	}
+	return e.modSwitchInto(c, e.msBuf)
 }
 
 // Bootstrap performs the full PBS (Algorithm 1): blind rotation of testVec
 // followed by sample extraction. The result is an LWE ciphertext of
 // dimension k·N under the extracted key.
 func (e *Evaluator) Bootstrap(c LWECiphertext, testVec GLWECiphertext) LWECiphertext {
-	acc := e.BlindRotate(c, testVec)
-	out := SampleExtract(acc)
-	e.Counters.SampleExtracts++
-	e.Counters.PBSCount++
-	return out
+	return e.Extract(e.BlindRotate(c, testVec))
 }
 
 // KeySwitch converts an LWE ciphertext of dimension k·N (post-extraction)
@@ -143,20 +143,32 @@ func (e *Evaluator) NewLUTTestVector(space int, f func(int) torus.Torus32) GLWEC
 	return tv
 }
 
+// LUTTestVector builds the encoded test vector for the integer lookup
+// table f: {0..space-1} → {0..space-1}. It is read-only during PBS, so one
+// encoding can be shared across a whole stream of ciphertexts (the
+// streaming engine's level-2 LUT sharing).
+func (e *Evaluator) LUTTestVector(space int, f func(int) int) GLWECiphertext {
+	return e.NewLUTTestVector(space, func(m int) torus.Torus32 {
+		return EncodePBSMessage(f(m), space)
+	})
+}
+
+// ShiftForLUT returns c shifted by half a slot, the LUT pre-processing of
+// EvalLUT: centering each encoded message inside its slot lets the lookup
+// tolerate noise up to 1/(4·space).
+func (e *Evaluator) ShiftForLUT(c LWECiphertext, space int) LWECiphertext {
+	shifted := c.Copy()
+	shifted.AddPlain(torus.EncodeMessage(1, 4*space))
+	e.Counters.LinearOps++
+	return shifted
+}
+
 // EvalLUT applies the univariate function f (on {0..space-1}) to the
 // encrypted message via programmable bootstrapping, returning a ciphertext
 // of dimension k·N encoding f(m) with the same padding-bit encoding.
 // The output of f must itself be in {0..space-1}.
 func (e *Evaluator) EvalLUT(c LWECiphertext, space int, f func(int) int) LWECiphertext {
-	tv := e.NewLUTTestVector(space, func(m int) torus.Torus32 {
-		return EncodePBSMessage(f(m), space)
-	})
-	// Half-slot shift centers each encoded message inside its slot so the
-	// lookup tolerates noise up to 1/(4·space).
-	shifted := c.Copy()
-	shifted.AddPlain(torus.EncodeMessage(1, 4*space))
-	e.Counters.LinearOps++
-	return e.Bootstrap(shifted, tv)
+	return e.Bootstrap(e.ShiftForLUT(c, space), e.LUTTestVector(space, f))
 }
 
 // EvalLUTKS is EvalLUT followed by keyswitching back to dimension n, the

@@ -36,9 +36,11 @@ func (sk SecretKeys) DecryptBoolBig(c LWECiphertext) bool {
 	return int32(sk.BigLWE.Phase(c)) > 0
 }
 
-// signTestVector returns the constant test vector whose blind rotation
+// SignTestVector returns the constant test vector whose blind rotation
 // computes the sign of the phase: +1/8 for phase in [0,1/2), -1/8 otherwise.
-func (e *Evaluator) signTestVector() GLWECiphertext {
+// It is read-only during PBS, so one copy can be shared across a whole
+// stream of gate bootstraps.
+func (e *Evaluator) SignTestVector() GLWECiphertext {
 	tv := NewGLWECiphertext(e.Params.K, e.Params.N)
 	mu := torus.FromFloat(0.125)
 	body := tv.Body()
@@ -51,7 +53,7 @@ func (e *Evaluator) signTestVector() GLWECiphertext {
 // signBootstrapBig bootstraps c against the sign test vector, returning a
 // big-key ciphertext of ±1/8.
 func (e *Evaluator) signBootstrapBig(c LWECiphertext) LWECiphertext {
-	return e.Bootstrap(c, e.signTestVector())
+	return e.Bootstrap(c, e.SignTestVector())
 }
 
 // signBootstrap is signBootstrapBig followed by keyswitching to dimension n.
@@ -59,63 +61,101 @@ func (e *Evaluator) signBootstrap(c LWECiphertext) LWECiphertext {
 	return e.KeySwitch(e.signBootstrapBig(c))
 }
 
-// NAND returns an encryption of !(a && b).
-func (e *Evaluator) NAND(a, b LWECiphertext) LWECiphertext {
+// NANDInput returns the linear combination NAND feeds its sign bootstrap:
+// 1/8 − a − b. The *Input methods expose every gate's pre-PBS linear stage
+// so the streaming pipeline can run it in its prepare stage and share one
+// sign test vector across the stream; gate(a,b) ≡ signBootstrap(gateInput).
+func (e *Evaluator) NANDInput(a, b LWECiphertext) LWECiphertext {
 	t := NewLWECiphertext(e.Params.SmallN)
 	t.B = torus.FromFloat(0.125)
 	t.SubTo(a)
 	t.SubTo(b)
 	e.Counters.LinearOps += 2
-	return e.signBootstrap(t)
+	return t
 }
 
-// AND returns an encryption of a && b.
-func (e *Evaluator) AND(a, b LWECiphertext) LWECiphertext {
+// NAND returns an encryption of !(a && b).
+func (e *Evaluator) NAND(a, b LWECiphertext) LWECiphertext {
+	return e.signBootstrap(e.NANDInput(a, b))
+}
+
+// ANDInput returns the linear combination AND feeds its sign bootstrap:
+// a + b − 1/8.
+func (e *Evaluator) ANDInput(a, b LWECiphertext) LWECiphertext {
 	t := a.Copy()
 	t.AddTo(b)
 	t.AddPlain(-torus.FromFloat(0.125))
 	e.Counters.LinearOps += 2
-	return e.signBootstrap(t)
+	return t
 }
 
-// OR returns an encryption of a || b.
-func (e *Evaluator) OR(a, b LWECiphertext) LWECiphertext {
+// AND returns an encryption of a && b.
+func (e *Evaluator) AND(a, b LWECiphertext) LWECiphertext {
+	return e.signBootstrap(e.ANDInput(a, b))
+}
+
+// ORInput returns the linear combination OR feeds its sign bootstrap:
+// a + b + 1/8.
+func (e *Evaluator) ORInput(a, b LWECiphertext) LWECiphertext {
 	t := a.Copy()
 	t.AddTo(b)
 	t.AddPlain(torus.FromFloat(0.125))
 	e.Counters.LinearOps += 2
-	return e.signBootstrap(t)
+	return t
 }
 
-// NOR returns an encryption of !(a || b).
-func (e *Evaluator) NOR(a, b LWECiphertext) LWECiphertext {
+// OR returns an encryption of a || b.
+func (e *Evaluator) OR(a, b LWECiphertext) LWECiphertext {
+	return e.signBootstrap(e.ORInput(a, b))
+}
+
+// NORInput returns the linear combination NOR feeds its sign bootstrap:
+// −1/8 − a − b.
+func (e *Evaluator) NORInput(a, b LWECiphertext) LWECiphertext {
 	t := NewLWECiphertext(e.Params.SmallN)
 	t.B = -torus.FromFloat(0.125)
 	t.SubTo(a)
 	t.SubTo(b)
 	e.Counters.LinearOps += 2
-	return e.signBootstrap(t)
+	return t
 }
 
-// XOR returns an encryption of a != b. The 2× scaling amplifies input noise;
-// inputs should be freshly bootstrapped.
-func (e *Evaluator) XOR(a, b LWECiphertext) LWECiphertext {
+// NOR returns an encryption of !(a || b).
+func (e *Evaluator) NOR(a, b LWECiphertext) LWECiphertext {
+	return e.signBootstrap(e.NORInput(a, b))
+}
+
+// XORInput returns the linear combination XOR feeds its sign bootstrap:
+// 2·(a + b) + 1/4.
+func (e *Evaluator) XORInput(a, b LWECiphertext) LWECiphertext {
 	t := a.Copy()
 	t.AddTo(b)
 	t.MulScalar(2)
 	t.AddPlain(torus.FromFloat(0.25))
 	e.Counters.LinearOps += 3
-	return e.signBootstrap(t)
+	return t
 }
 
-// XNOR returns an encryption of a == b.
-func (e *Evaluator) XNOR(a, b LWECiphertext) LWECiphertext {
+// XOR returns an encryption of a != b. The 2× scaling amplifies input noise;
+// inputs should be freshly bootstrapped.
+func (e *Evaluator) XOR(a, b LWECiphertext) LWECiphertext {
+	return e.signBootstrap(e.XORInput(a, b))
+}
+
+// XNORInput returns the linear combination XNOR feeds its sign bootstrap:
+// 2·(a + b) − 1/4.
+func (e *Evaluator) XNORInput(a, b LWECiphertext) LWECiphertext {
 	t := a.Copy()
 	t.AddTo(b)
 	t.MulScalar(2)
 	t.AddPlain(-torus.FromFloat(0.25))
 	e.Counters.LinearOps += 3
-	return e.signBootstrap(t)
+	return t
+}
+
+// XNOR returns an encryption of a == b.
+func (e *Evaluator) XNOR(a, b LWECiphertext) LWECiphertext {
+	return e.signBootstrap(e.XNORInput(a, b))
 }
 
 // NOT returns an encryption of !a. Negation is free (no bootstrap).

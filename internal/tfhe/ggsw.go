@@ -34,10 +34,10 @@ func EncryptGGSW(rng *rand.Rand, key GLWEKey, s int32, gadget poly.Decomposer, s
 				shift := uint(32 - gadget.BaseLog*(l+1))
 				row.Polys[j].Coeffs[0] += torus.Torus32(s) << shift
 			}
-			fr := make([]fft.FourierPoly, k+1)
-			for c := 0; c <= k; c++ {
-				fr[c] = proc.ForwardTorus(row.Polys[c])
-			}
+			// One batched burst per GLWE row, the same shape in which
+			// the key is later streamed to the VMA units.
+			fr := proc.NewFourierPolyBatch(k + 1)
+			proc.ForwardTorusBatchTo(fr, row.Polys)
 			g.Rows[j][l] = fr
 		}
 	}
@@ -45,17 +45,21 @@ func EncryptGGSW(rng *rand.Rand, key GLWEKey, s int32, gadget poly.Decomposer, s
 }
 
 // externalProductBuffers holds scratch storage for ExternalProductAcc so the
-// hot path is allocation free.
+// hot path is allocation free. The digit storage covers a whole CMux step —
+// all (k+1)·lb digit polynomials — so decomposition and the forward
+// transforms can each run as one batched burst (the pipeline's level-2
+// batching), exactly the burst the hardware Decomposer Unit emits to the
+// FFT array.
 type externalProductBuffers struct {
-	digits [][]int32         // [lb][N] digit storage for one component
-	fdig   fft.FourierPoly   // Fourier transform of one digit polynomial
+	digits [][]int32         // [(k+1)·lb][N] digit storage, component-major
+	fdig   []fft.FourierPoly // [(k+1)·lb] transforms, same layout as digits
 	acc    []fft.FourierPoly // [k+1] Fourier accumulators
 }
 
 func newExternalProductBuffers(k, n, level int, proc *fft.Processor) *externalProductBuffers {
 	b := &externalProductBuffers{
-		digits: make([][]int32, level),
-		fdig:   proc.NewFourierPoly(),
+		digits: make([][]int32, (k+1)*level),
+		fdig:   proc.NewFourierPolyBatch((k + 1) * level),
 		acc:    make([]fft.FourierPoly, k+1),
 	}
 	for l := range b.digits {
@@ -68,39 +72,48 @@ func newExternalProductBuffers(k, n, level int, proc *fft.Processor) *externalPr
 }
 
 // ExternalProductAcc computes out += GGSW ⊡ d (the external product of
-// Algorithm 1 lines 7–10): d's components are gadget-decomposed, transformed
-// to the Fourier domain, multiplied against the GGSW rows, accumulated, and
-// transformed back with rounding. counters, if non-nil, records the
+// Algorithm 1 lines 7–10) in three batched phases: every component of d is
+// gadget-decomposed (filling the full (k+1)·lb digit burst), all digit
+// polynomials go through the forward FFT as one batched call, and the
+// Fourier MAC loop then accumulates against the GGSW rows before the
+// batched inverse transform with rounding. Per-polynomial arithmetic and
+// accumulation order are identical to transforming one digit at a time, so
+// the batching changes nothing bitwise. counters, if non-nil, records the
 // operation mix for the Fig 1 experiment.
 func ExternalProductAcc(out, d GLWECiphertext, g GGSWFourier, gadget poly.Decomposer, proc *fft.Processor, buf *externalProductBuffers, counters *OpCounters) {
 	k := d.K()
+	lb := gadget.Level
+	// Phase 1: decompose the whole CMux step, component-major.
+	for j := 0; j <= k; j++ {
+		gadget.DecomposePolyTo(buf.digits[j*lb:(j+1)*lb], d.Polys[j])
+		if counters != nil {
+			counters.Decompositions++
+		}
+	}
+	// Phase 2: one batched forward transform over all (k+1)·lb digits.
+	proc.ForwardIntBatchTo(buf.fdig, buf.digits)
+	if counters != nil {
+		counters.ForwardFFTs += int64((k + 1) * lb)
+	}
+	// Phase 3: Fourier MAC against the GGSW rows, then batched inverse.
 	for c := 0; c <= k; c++ {
 		fft.Clear(buf.acc[c])
 	}
 	for j := 0; j <= k; j++ {
-		gadget.DecomposePolyTo(buf.digits, d.Polys[j])
-		if counters != nil {
-			counters.Decompositions++
-		}
-		for l := 0; l < gadget.Level; l++ {
-			proc.ForwardIntTo(buf.fdig, buf.digits[l])
-			if counters != nil {
-				counters.ForwardFFTs++
-			}
+		for l := 0; l < lb; l++ {
+			fdig := buf.fdig[j*lb+l]
 			for c := 0; c <= k; c++ {
-				fft.MulAcc(buf.acc[c], buf.fdig, g.Rows[j][l][c])
+				fft.MulAcc(buf.acc[c], fdig, g.Rows[j][l][c])
 				if counters != nil {
 					counters.VMAMuls += int64(proc.M())
 				}
 			}
 		}
 	}
-	for c := 0; c <= k; c++ {
-		proc.InverseTo(out.Polys[c], buf.acc[c])
-		if counters != nil {
-			counters.InverseFFTs++
-			counters.Accumulations += int64(proc.N())
-		}
+	proc.InverseBatchTo(out.Polys, buf.acc)
+	if counters != nil {
+		counters.InverseFFTs += int64(k + 1)
+		counters.Accumulations += int64((k + 1) * proc.N())
 	}
 }
 

@@ -1,9 +1,3 @@
-// Package tfhe implements the functional TFHE scheme the Strix accelerator
-// executes: LWE/GLWE/GGSW ciphertexts, programmable bootstrapping
-// (Algorithm 1 of the paper) and keyswitching (Algorithm 2), with the same
-// data structures the paper's §II-D describes. It is the golden model the
-// architecture simulator is validated against, and its operation counters
-// drive the Fig 1 workload-breakdown experiment.
 package tfhe
 
 import "fmt"

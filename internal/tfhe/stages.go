@@ -1,0 +1,89 @@
+package tfhe
+
+import (
+	"fmt"
+
+	"repro/internal/torus"
+)
+
+// Stage-split programmable bootstrapping. The Strix pipeline (§IV-C) does
+// not execute a PBS as one monolithic call: ciphertexts stream through
+// specialized stages — modulus switch, blind rotation (decompose → FFT →
+// Fourier MAC → IFFT per CMux), sample extraction, keyswitch — and each
+// stage's setup is amortized across the whole batch. The methods in this
+// file expose exactly those stage boundaries so the streaming engine can
+// place each one in its own pipeline stage, while the sequential
+// Evaluator.Bootstrap composes the same methods back-to-back. Both paths
+// run the identical computation in the identical order, which is what
+// keeps streamed results bitwise-equal to sequential ones.
+
+// ModSwitched carries an LWE ciphertext across the modulus-switch stage
+// boundary: the body and mask coefficients rescaled to Z_{2N} rotation
+// amounts (Algorithm 1 lines 2–3). It is plain integer data, so it can be
+// handed between pipeline stages without sharing evaluator scratch.
+type ModSwitched struct {
+	B int   // body rotation amount in [0, 2N)
+	A []int // mask rotation amounts, length n
+}
+
+// ModSwitchLWE runs the modulus-switch stage on one ciphertext: every
+// coefficient is rescaled from the torus to Z_{2N} (Algorithm 1 lines 2–3).
+// The result owns fresh storage, so it can be handed to another pipeline
+// stage; the sequential path uses evaluator scratch instead.
+func (e *Evaluator) ModSwitchLWE(c LWECiphertext) ModSwitched {
+	return e.modSwitchInto(c, make([]int, e.Params.SmallN))
+}
+
+// modSwitchInto rescales c into the rotation-amount buffer a.
+func (e *Evaluator) modSwitchInto(c LWECiphertext, a []int) ModSwitched {
+	p := e.Params
+	if c.N() != p.SmallN {
+		panic(fmt.Sprintf("tfhe: ModSwitchLWE expects LWE dimension n=%d, got %d", p.SmallN, c.N()))
+	}
+	twoN := 2 * p.N
+	ms := ModSwitched{B: torus.ModSwitch(c.B, twoN), A: a}
+	for i, ai := range c.A {
+		ms.A[i] = torus.ModSwitch(ai, twoN)
+	}
+	e.Counters.ModSwitches += int64(c.N() + 1)
+	return ms
+}
+
+// BlindRotateInit starts the blind-rotation stage: a fresh accumulator
+// holding the test vector rotated by -b̄ (Algorithm 1 line 4). testVec is
+// read-only and may be shared across a whole stream.
+func (e *Evaluator) BlindRotateInit(testVec GLWECiphertext, ms ModSwitched) GLWECiphertext {
+	acc := NewGLWECiphertext(e.Params.K, e.Params.N)
+	testVec.RotateTo(acc, -ms.B)
+	e.Counters.Rotations++
+	return acc
+}
+
+// CMuxAt performs blind-rotation iteration i (Algorithm 1 lines 6–12) on
+// the accumulator: acc ← CMux(BSK[i], acc·X^aBar, acc). A zero rotation is
+// the identity and is skipped without touching the accumulator.
+func (e *Evaluator) CMuxAt(acc GLWECiphertext, i, aBar int) {
+	if aBar == 0 {
+		return
+	}
+	e.ensureRotateScratch()
+	CMuxRotateAcc(acc, aBar, e.Keys.BSK[i], e.gadget, e.proc, e.epBuf, e.diff, e.rot, &e.Counters)
+}
+
+// BlindRotateSteps runs all n CMux iterations of the blind-rotation stage
+// (Algorithm 1 lines 5–12) on an accumulator produced by BlindRotateInit.
+func (e *Evaluator) BlindRotateSteps(acc GLWECiphertext, ms ModSwitched) {
+	for i, aBar := range ms.A {
+		e.CMuxAt(acc, i, aBar)
+	}
+}
+
+// Extract runs the sample-extraction stage (Algorithm 1 line 13), closing
+// out one PBS: the accumulator's constant coefficient becomes an LWE
+// ciphertext of dimension k·N.
+func (e *Evaluator) Extract(acc GLWECiphertext) LWECiphertext {
+	out := SampleExtract(acc)
+	e.Counters.SampleExtracts++
+	e.Counters.PBSCount++
+	return out
+}

@@ -1,12 +1,3 @@
-// Package torus implements arithmetic on the discretized torus T = R/Z,
-// represented with 32-bit fixed point as used by the TFHE scheme.
-//
-// A Torus32 value t represents the real number t/2^32 ∈ [0,1). Addition and
-// subtraction are the native wrapping uint32 operations; multiplication by a
-// (small) integer is well defined, while multiplication of two torus elements
-// is not (the torus is a Z-module, not a ring). This matches the data
-// structures of the Strix paper (§II-D): LWE and GLWE coefficients are 32-bit
-// integers interpreted on the torus.
 package torus
 
 import (

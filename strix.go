@@ -51,6 +51,9 @@ type FHEContext struct {
 
 	engOnce sync.Once
 	eng     *engine.Engine
+
+	streamOnce sync.Once
+	streamEng  *engine.StreamingEngine
 }
 
 // NewFHEContext generates keys for the named parameter set ("I".."IV" or
@@ -129,6 +132,40 @@ func (c *FHEContext) Engine() *engine.Engine {
 // given worker count (0 = runtime.NumCPU()).
 func (c *FHEContext) NewEngine(workers int) *engine.Engine {
 	return engine.New(c.EK, engine.Config{Workers: workers})
+}
+
+// StreamConfig tunes the streaming pipeline's stage widths.
+type StreamConfig = engine.StreamConfig
+
+// StreamEngine returns the context's default streaming pipeline engine
+// (NumCPU blind-rotate workers), building it on first use. See
+// NewStreamingEngine for explicit stage widths.
+func (c *FHEContext) StreamEngine() *engine.StreamingEngine {
+	c.streamOnce.Do(func() { c.streamEng = engine.NewStreaming(c.EK, engine.StreamConfig{}) })
+	return c.streamEng
+}
+
+// NewStreamingEngine returns a fresh streaming pipeline engine over this
+// context's keys with explicit stage widths.
+func (c *FHEContext) NewStreamingEngine(cfg StreamConfig) *engine.StreamingEngine {
+	return engine.NewStreaming(c.EK, cfg)
+}
+
+// Stream applies one gate pairwise over two ciphertext slices on the
+// default streaming pipeline: out[i] = op(a[i], b[i]). Unlike BatchGate's
+// flat one-worker-per-gate fan-out, ciphertexts flow through specialized
+// PBS stages (modswitch → blind rotate → extract → fused keyswitch) with
+// the sign test vector encoded once for the whole stream. Results are
+// bitwise identical to both Eval and BatchGate.
+func (c *FHEContext) Stream(op GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return c.StreamEngine().StreamGate(op, a, b)
+}
+
+// StreamLUT applies the lookup table f (on {0..space-1}) to every
+// ciphertext on the default streaming pipeline — the §IV-C PBS→KS sequence
+// with the LUT encoded once and shared across the stream.
+func (c *FHEContext) StreamLUT(cts []tfhe.LWECiphertext, space int, f func(int) int) []tfhe.LWECiphertext {
+	return c.StreamEngine().StreamLUT(cts, space, f)
 }
 
 // EncryptBools encrypts a slice of booleans (±1/8 gate encoding).

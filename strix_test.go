@@ -2,6 +2,8 @@ package strix
 
 import (
 	"testing"
+
+	"repro/internal/tfhe"
 )
 
 func TestFHEContextGateRoundtrip(t *testing.T) {
@@ -66,6 +68,64 @@ func TestFHEContextBatchGate(t *testing.T) {
 
 	if ctx.NewEngine(2).Workers() != 2 {
 		t.Error("NewEngine(2) should build a 2-worker pool")
+	}
+}
+
+func TestFHEContextStream(t *testing.T) {
+	ctx, err := NewFHEContext("test", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []bool{true, false, true, true}
+	ys := []bool{true, true, false, true}
+	as := ctx.EncryptBools(xs)
+	bs := ctx.EncryptBools(ys)
+
+	outs, err := ctx.Stream(NAND, as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range ctx.DecryptBools(outs) {
+		if want := !(xs[i] && ys[i]); got != want {
+			t.Errorf("Stream NAND[%d] = %v, want %v", i, got, want)
+		}
+	}
+
+	// Streamed and flat-batched gates must agree bitwise (both pin to the
+	// sequential evaluator).
+	flat, err := ctx.BatchGate(NAND, as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i].B != flat[i].B {
+			t.Errorf("Stream and BatchGate disagree on output %d body", i)
+		}
+		for j := range outs[i].A {
+			if outs[i].A[j] != flat[i].A[j] {
+				t.Fatalf("Stream and BatchGate disagree on output %d mask coefficient %d", i, j)
+			}
+		}
+	}
+
+	// LUT streaming through the facade.
+	msgs := []int{3, 5, 0}
+	ints := make([]tfhe.LWECiphertext, len(msgs))
+	for i, m := range msgs {
+		ints[i] = ctx.EncryptInt(m, 8)
+	}
+	double := func(x int) int { return (2 * x) % 8 }
+	for i, out := range ctx.StreamLUT(ints, 8, double) {
+		if got := ctx.DecryptInt(out, 8); got != double(msgs[i]) {
+			t.Errorf("StreamLUT[%d] = %d, want %d", i, got, double(msgs[i]))
+		}
+	}
+
+	if s := ctx.NewStreamingEngine(StreamConfig{RotateWorkers: 2, KSWorkers: 1}); s.RotateWorkers() != 2 {
+		t.Error("NewStreamingEngine(2) should build a 2-worker rotate pool")
+	}
+	if want := int64(len(xs) + len(msgs)); ctx.StreamEngine().Counters().PBSCount != want {
+		t.Errorf("stream engine PBSCount = %d, want %d", ctx.StreamEngine().Counters().PBSCount, want)
 	}
 }
 
