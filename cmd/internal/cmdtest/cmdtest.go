@@ -1,0 +1,65 @@
+// Package cmdtest holds the subprocess helpers behind the cmd/ smoke
+// tests: each binary is compiled once with the host `go` toolchain and
+// driven end to end (flag parsing plus one tiny workload), so the four
+// command-line entry points are covered by `go test ./...` like any other
+// package.
+package cmdtest
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Timeout bounds one subprocess run. Smoke workloads use the fast test
+// parameter set, so minutes of headroom is already generous.
+const Timeout = 4 * time.Minute
+
+// Build compiles the command package in the test's working directory
+// (tests run in their package dir, so "." is the cmd being tested) into a
+// per-test temp dir and returns the binary path.
+func Build(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir() + "/cmd.bin"
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Run executes the binary and returns its combined output, failing the
+// test on a non-zero exit.
+func Run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := RunErr(t, bin, args...)
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", bin, strings.Join(args, " "), err, out)
+	}
+	return out
+}
+
+// RunErr executes the binary and returns its combined output and exit
+// error — for asserting that bad flags fail.
+func RunErr(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("%s %s: timed out after %v", bin, strings.Join(args, " "), Timeout)
+	}
+	return string(out), err
+}
+
+// WantSubstrings fails the test unless every substring appears in out.
+func WantSubstrings(t *testing.T, out string, subs ...string) {
+	t.Helper()
+	for _, sub := range subs {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+}

@@ -13,16 +13,21 @@
 //	strixbench -batch 64 -set I        # ... on a full-scale parameter set (slow)
 //	strixbench -stream 256             # two-level streaming pipeline PBS/s
 //	strixbench -stream 256 -parallel 4 # ... with 4 blind-rotate workers
+//	strixbench -serve -clients 4       # end-to-end gate service PBS/s
+//	strixbench -serve -clients 8 -gates 32 -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	strix "repro"
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -136,6 +141,132 @@ func runStream(set string, batch, workers int) error {
 	return nil
 }
 
+// runServe measures the networked gate service end to end: it starts an
+// in-process strixserv-equivalent HTTP server, registers `clients`
+// sessions (each with its own keys — the session-sharded multi-user
+// scenario), fires one gate batch per client concurrently, and prints the
+// end-to-end PBS/s (HTTP framing + wire codec + coalescing + streaming
+// engines) next to the in-process streaming number for the same workload.
+func runServe(set string, clients, gates, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	if clients < 1 {
+		return fmt.Errorf("-clients must be >= 1, got %d", clients)
+	}
+	if gates < 1 {
+		return fmt.Errorf("-gates must be >= 1, got %d", gates)
+	}
+
+	fmt.Printf("serve mode: set %s, %d clients x %d gates, %d rotate workers/session\n",
+		p.Name, clients, gates, workers)
+
+	srv := strix.NewGateService(strix.ServiceConfig{
+		Stream: engine.StreamConfig{RotateWorkers: workers},
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	go func() { _ = strix.Serve(l, srv) }()
+	base := "http://" + l.Addr().String()
+
+	type clientState struct {
+		sk   tfhe.SecretKeys
+		cl   *strix.GateClient
+		a, b []tfhe.LWECiphertext
+		bits []bool
+	}
+	fmt.Print("generating keys + registering sessions... ")
+	start := time.Now()
+	states := make([]*clientState, clients)
+	for i := range states {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		sk, ek := tfhe.GenerateKeys(rng, p)
+		cl := strix.Dial(base, fmt.Sprintf("load-client-%d", i))
+		if err := cl.RegisterKey(ek); err != nil {
+			return err
+		}
+		st := &clientState{sk: sk, cl: cl}
+		st.bits = make([]bool, gates)
+		st.a = make([]tfhe.LWECiphertext, gates)
+		st.b = make([]tfhe.LWECiphertext, gates)
+		for g := 0; g < gates; g++ {
+			st.bits[g] = (i+g)%2 == 0
+			st.a[g] = sk.EncryptBool(rng, st.bits[g])
+			st.b[g] = sk.EncryptBool(rng, (g%3) == 0)
+		}
+		states[i] = st
+	}
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	// Warm every session (twiddle tables, HTTP connections), then time.
+	for _, st := range states {
+		if _, err := st.cl.GateBatch(engine.NAND, st.a[:min(4, gates)], st.b[:min(4, gates)]); err != nil {
+			return err
+		}
+	}
+
+	start = time.Now()
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *clientState) {
+			defer wg.Done()
+			out, err := st.cl.GateBatch(engine.NAND, st.a, st.b)
+			if err == nil && len(out) != gates {
+				err = fmt.Errorf("client %d: got %d outputs, want %d", i, len(out), gates)
+			}
+			errs[i] = err
+		}(i, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	total := clients * gates
+	e2e := float64(total) / elapsed.Seconds()
+	fmt.Printf("service  : %d PBS (+fused KS) over HTTP in %v  =  %.1f PBS/s  (%d sessions)\n",
+		total, elapsed.Round(time.Millisecond), e2e, clients)
+
+	// In-process streaming baseline: the same gate count through one
+	// streaming engine, no network and no codec.
+	rng := rand.New(rand.NewSource(999))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	a := make([]tfhe.LWECiphertext, total)
+	b := make([]tfhe.LWECiphertext, total)
+	for i := range a {
+		a[i] = sk.EncryptBool(rng, i%2 == 0)
+		b[i] = sk.EncryptBool(rng, i%3 == 0)
+	}
+	s := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: workers})
+	if _, err := s.StreamGate(engine.NAND, a[:min(8, total)], b[:min(8, total)]); err != nil {
+		return err
+	}
+	start = time.Now()
+	if _, err := s.StreamGate(engine.NAND, a, b); err != nil {
+		return err
+	}
+	inproc := float64(total) / time.Since(start).Seconds()
+	fmt.Printf("in-proc  : %.1f PBS/s streaming  (service overhead %.1f%%)\n",
+		inproc, 100*(1-e2e/inproc))
+
+	model, err := arch.NewModel(arch.DefaultConfig(), p)
+	if err != nil {
+		fmt.Printf("accelerator model unavailable for set %s: %v\n", p.Name, err)
+		return nil
+	}
+	predicted := model.ThroughputPBS()
+	fmt.Printf("strix    : predicted %.1f PBS/s  (%.0f× the service)\n", predicted, predicted/e2e)
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	format := flag.String("format", "text", "output format: text or csv")
@@ -143,8 +274,11 @@ func main() {
 	full := flag.Bool("full", false, "run fig1 with full-scale parameter set I (slow)")
 	batch := flag.Int("batch", 0, "software batch mode: PBS per batch (enables the mode)")
 	stream := flag.Int("stream", 0, "streaming pipeline mode: PBS per stream (enables the mode)")
-	parallel := flag.Int("parallel", 0, "batch/stream mode: worker count (0 = NumCPU)")
-	set := flag.String("set", "test", "batch/stream mode: parameter set")
+	serve := flag.Bool("serve", false, "gate service mode: end-to-end PBS/s through an HTTP server")
+	clients := flag.Int("clients", 4, "serve mode: concurrent client sessions")
+	gates := flag.Int("gates", 64, "serve mode: gates per client batch")
+	parallel := flag.Int("parallel", 0, "batch/stream/serve mode: worker count (0 = NumCPU)")
+	set := flag.String("set", "test", "batch/stream/serve mode: parameter set")
 	flag.Parse()
 
 	if *list {
@@ -154,9 +288,23 @@ func main() {
 		return
 	}
 
-	if *batch != 0 && *stream != 0 {
-		fmt.Fprintln(os.Stderr, "strixbench: -batch and -stream are mutually exclusive; run them separately")
+	modes := 0
+	for _, on := range []bool{*batch != 0, *stream != 0, *serve} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, and -serve are mutually exclusive; run them separately")
 		os.Exit(1)
+	}
+
+	if *serve {
+		if err := runServe(*set, *clients, *gates, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *batch != 0 {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"repro/cmd/internal/cmdtest"
+)
+
+// TestSmoke builds strixbench and drives each mode with a tiny workload.
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	t.Run("list", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-list")
+		cmdtest.WantSubstrings(t, out, "fig1", "table5")
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-batch", "8", "-parallel", "2", "-set", "test")
+		cmdtest.WantSubstrings(t, out, "batch mode: set test", "software :", "PBS/s")
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-stream", "8", "-parallel", "2", "-set", "test")
+		cmdtest.WantSubstrings(t, out, "stream mode: set test", "software :", "PBS/s")
+	})
+
+	t.Run("serve", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-serve", "-clients", "2", "-gates", "4", "-parallel", "2", "-set", "test")
+		cmdtest.WantSubstrings(t, out, "serve mode: set test, 2 clients x 4 gates",
+			"service  :", "in-proc  :", "PBS/s")
+	})
+
+	t.Run("one experiment", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-exp", "table5")
+		cmdtest.WantSubstrings(t, out, "TABLE5", "throughput")
+	})
+
+	t.Run("exclusive modes rejected", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "-batch", "4", "-stream", "4")
+		if err == nil {
+			t.Errorf("-batch with -stream succeeded:\n%s", out)
+		}
+	})
+
+	t.Run("bad set rejected", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "-serve", "-clients", "1", "-gates", "1", "-set", "nope")
+		if err == nil {
+			t.Errorf("unknown set succeeded:\n%s", out)
+		}
+	})
+}

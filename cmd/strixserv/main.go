@@ -1,0 +1,76 @@
+// Command strixserv runs the networked FHE gate service: a session-sharded
+// HTTP server that accepts wire-encoded evaluation keys and streams clients'
+// gate/LUT batches through per-session streaming PBS engines.
+//
+// The trust split is the classic FHE service model: clients keep their
+// secret keys and upload only evaluation keys and ciphertexts; the server
+// computes blindly. Endpoints (JSON frames, base64 binary fields):
+//
+//	POST /v1/register-key   upload a client's evaluation keys
+//	POST /v1/gate-batch     evaluate a boolean gate over ciphertext pairs
+//	POST /v1/lut-batch      apply a lookup table via PBS + keyswitch
+//	GET  /v1/stats          per-session metrics (requests, streams, op mix)
+//
+// Usage:
+//
+//	strixserv                        # listen on :8475
+//	strixserv -addr 127.0.0.1:0      # ephemeral port (printed on stdout)
+//	strixserv -max-sessions 128 -rotate-workers 8
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	strix "repro"
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8475", "listen address (host:port; port 0 picks one)")
+	maxSessions := flag.Int("max-sessions", 0, "LRU bound on cached client sessions (0 = default 64)")
+	maxPending := flag.Int("max-pending", 0, "per-session backpressure bound (0 = default 64)")
+	maxBatch := flag.Int("max-batch", 0, "max ciphertexts per request (0 = default 4096)")
+	maxCoalesce := flag.Int("max-coalesce", 0, "max ciphertexts merged into one stream (0 = default 8192)")
+	rotateWorkers := flag.Int("rotate-workers", 0, "blind-rotate workers per session engine (0 = NumCPU)")
+	ksWorkers := flag.Int("ks-workers", 0, "keyswitch workers per session engine (0 = rotate/4)")
+	flag.Parse()
+
+	srv := strix.NewGateService(strix.ServiceConfig{
+		MaxSessions: *maxSessions,
+		MaxPending:  *maxPending,
+		MaxBatch:    *maxBatch,
+		MaxCoalesce: *maxCoalesce,
+		Stream: engine.StreamConfig{
+			RotateWorkers: *rotateWorkers,
+			KSWorkers:     *ksWorkers,
+		},
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strixserv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("strixserv: listening on %s\n", l.Addr())
+
+	// Close the listener on SIGINT/SIGTERM; Serve then returns and the
+	// process exits cleanly (in-flight handlers finish with the process).
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Println("strixserv: shutting down")
+		l.Close()
+	}()
+
+	if err := strix.Serve(l, srv); err != nil && !errors.Is(err, net.ErrClosed) {
+		fmt.Fprintln(os.Stderr, "strixserv:", err)
+		os.Exit(1)
+	}
+}

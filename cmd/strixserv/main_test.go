@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/cmd/internal/cmdtest"
+)
+
+// TestSmoke starts strixserv on an ephemeral port, hits the stats
+// endpoint over real HTTP, and shuts it down with SIGTERM.
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-max-sessions", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	var addr string
+	scanner := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		if scanner.Scan() {
+			lineCh <- scanner.Text()
+		}
+		close(lineCh)
+	}()
+	select {
+	case line := <-lineCh:
+		const prefix = "strixserv: listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("unexpected first line %q", line)
+		}
+		addr = strings.TrimPrefix(line, prefix)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var stats struct {
+		MaxSessions int `json:"max_sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxSessions != 4 {
+		t.Errorf("max_sessions = %d, want the configured 4", stats.MaxSessions)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+// TestBadFlags asserts a bad listen address fails fast with a non-zero
+// exit.
+func TestBadFlags(t *testing.T) {
+	bin := cmdtest.Build(t)
+	out, err := cmdtest.RunErr(t, bin, "-addr", "not-an-address")
+	if err == nil {
+		t.Errorf("bad -addr succeeded:\n%s", out)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/cmd/internal/cmdtest"
+)
+
+// TestSmoke builds strixsim and runs the analytic summary, the chip
+// scheduler, and the Gantt renderer on small inputs.
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	t.Run("summary", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-set", "I")
+		cmdtest.WantSubstrings(t, out, "Strix configuration", "PBS latency", "PBS throughput")
+	})
+
+	t.Run("count", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-set", "I", "-count", "1000")
+		cmdtest.WantSubstrings(t, out, "PBS throughput")
+	})
+
+	t.Run("custom parallelism", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-set", "II", "-tvlp", "2", "-clp", "16")
+		cmdtest.WantSubstrings(t, out, "TvLP=2 CLP=16")
+	})
+
+	t.Run("gantt", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-set", "I", "-gantt", "-iters", "1")
+		cmdtest.WantSubstrings(t, out, "Strix configuration")
+	})
+
+	t.Run("bad set rejected", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "-set", "nope")
+		if err == nil {
+			t.Errorf("unknown set succeeded:\n%s", out)
+		}
+	})
+}

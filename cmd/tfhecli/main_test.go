@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/cmd/internal/cmdtest"
+)
+
+// TestSmoke builds tfhecli and runs each subcommand on the fast test set.
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	t.Run("gate", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "gate", "-op", "NAND", "-a=true", "-b=false")
+		cmdtest.WantSubstrings(t, out, "NAND(true, false) = true")
+	})
+
+	t.Run("lut", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "lut", "-space", "8", "-fn", "square", "-m", "5")
+		cmdtest.WantSubstrings(t, out, "square(5) mod 8 = 1")
+	})
+
+	t.Run("adder", func(t *testing.T) {
+		// The adder self-checks and exits non-zero on a mismatch, so a
+		// clean exit already proves the encrypted sum.
+		out := cmdtest.Run(t, bin, "adder", "-x", "3", "-y", "4", "-bits", "4")
+		cmdtest.WantSubstrings(t, out, "3 + 4 = 7")
+	})
+
+	t.Run("unknown subcommand rejected", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "frobnicate")
+		if err == nil {
+			t.Errorf("unknown subcommand succeeded:\n%s", out)
+		}
+	})
+
+	t.Run("unknown gate rejected", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "gate", "-op", "FROB")
+		if err == nil {
+			t.Errorf("unknown gate succeeded:\n%s", out)
+		}
+	})
+}

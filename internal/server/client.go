@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/tfhe"
+	"repro/internal/wire"
+)
+
+// Client speaks the gate service's HTTP API on behalf of one client ID.
+// The secret keys never leave the caller: the client ships only the
+// wire-encoded evaluation keys and ciphertexts. Safe for concurrent use.
+type Client struct {
+	base string
+	id   string
+	hc   *http.Client
+}
+
+// Dial returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8475") acting as clientID. No connection is made
+// until the first request.
+func Dial(baseURL, clientID string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		id:   clientID,
+		hc:   &http.Client{},
+	}
+}
+
+// ClientID returns the client ID requests are issued under.
+func (c *Client) ClientID() string { return c.id }
+
+// post sends one JSON request and decodes the reply into out.
+func (c *Client) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeReply(resp, out)
+}
+
+// decodeReply decodes a service reply, surfacing ErrorResponse bodies.
+// Replies are batch-sized at most, so the batch body bound applies.
+func decodeReply(resp *http.Response, out any) error {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBatchBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// RegisterKey uploads the evaluation keys, creating (or replacing) this
+// client's session.
+func (c *Client) RegisterKey(ek tfhe.EvaluationKeys) error {
+	blob, err := wire.MarshalEvalKey(ek)
+	if err != nil {
+		return err
+	}
+	var resp RegisterKeyResponse
+	return c.post("/v1/register-key", RegisterKeyRequest{ClientID: c.id, EvalKey: blob}, &resp)
+}
+
+// GateBatch evaluates out[i] = op(a[i], b[i]) on the server. For the unary
+// NOT, b must be nil.
+func (c *Client) GateBatch(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	req := GateBatchRequest{ClientID: c.id, Op: op.String(), A: encodeCiphertexts(a)}
+	if b != nil {
+		req.B = encodeCiphertexts(b)
+	}
+	var resp BatchResponse
+	if err := c.post("/v1/gate-batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return decodeCiphertexts(resp.Out, "out")
+}
+
+// LUTBatch applies the lookup table (length space, entries in
+// {0..space-1}) to every ciphertext on the server.
+func (c *Client) LUTBatch(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	req := LUTBatchRequest{ClientID: c.id, Space: space, Table: table, Cts: encodeCiphertexts(cts)}
+	var resp BatchResponse
+	if err := c.post("/v1/lut-batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return decodeCiphertexts(resp.Out, "out")
+}
+
+// Stats fetches the service metrics snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := decodeReply(resp, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,27 @@
+// Package server is the session-sharded FHE gate service: the layer that
+// lets many network clients funnel encrypted gate and LUT work into the
+// streaming PBS engines of internal/engine.
+//
+// The trust split follows the classic FHE service model: clients keep
+// their secret keys and upload only evaluation keys and ciphertexts (in
+// the internal/wire encoding); the server holds one session per client ID,
+// each owning the client's evaluation keys and a private
+// engine.StreamingEngine. Sessions are LRU-bounded, so a long-running
+// server sheds the key material of idle clients instead of growing without
+// limit.
+//
+// Within a session, concurrent requests are coalesced group-commit style:
+// while one stream occupies the engine, compatible requests (same gate op,
+// or same LUT) pile into a shared group, and the next leader submits the
+// whole group as one stream — so the engine sees long streams even when
+// clients send small batches. Backpressure is a bounded per-session slot
+// count: when too many requests are queued, new ones block until the
+// backlog drains. Per-session metrics (request/item/stream/coalesce counts
+// plus the engine's aggregated tfhe.OpCounters) are exported via Stats and
+// the HTTP stats endpoint.
+//
+// The HTTP layer (Handler, Dial) frames the binary wire encoding in JSON:
+// ciphertexts and keys travel as base64 []byte fields, everything else as
+// plain JSON — trivially debuggable with curl, with the hot bytes still in
+// the canonical binary codec.
+package server

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/tfhe"
+	"repro/internal/wire"
+)
+
+// Request body bounds. The whole body is buffered and base64-decoded
+// before the wire codec can reject it, so these are sized to the largest
+// legitimate payload rather than "big enough for anything" — an
+// unauthenticated peer should not be able to park gigabytes in server
+// memory per connection.
+const (
+	// MaxKeyBodyBytes bounds a register-key request. Evaluation keys
+	// dominate everything else: sets I–III are ~46–62 MB in base64, but
+	// the high-precision set IV key is ~1.09 GB binary / ~1.45 GB base64,
+	// which this limit must still admit. The connection timeouts on
+	// strix.Serve keep a slow-drip peer from parking such a buffer
+	// indefinitely.
+	MaxKeyBodyBytes = 2 << 30
+	// MaxBatchBodyBytes bounds gate/lut batch requests and replies: a
+	// maximal default batch (4096 set-I ciphertext pairs) is ~22 MB of
+	// base64.
+	MaxBatchBodyBytes = 64 << 20
+)
+
+// The JSON frames of the HTTP API. Binary fields ([]byte) carry the
+// internal/wire encoding and appear as base64 strings on the wire, the
+// standard encoding/json treatment.
+
+// RegisterKeyRequest frames POST /v1/register-key.
+type RegisterKeyRequest struct {
+	ClientID string `json:"client_id"`
+	EvalKey  []byte `json:"eval_key"` // wire-encoded evaluation keys
+}
+
+// RegisterKeyResponse acknowledges a key registration.
+type RegisterKeyResponse struct {
+	Params   string `json:"params"`    // parameter set name of the session
+	KeyBytes int    `json:"key_bytes"` // decoded key size, for sanity checks
+}
+
+// GateBatchRequest frames POST /v1/gate-batch.
+type GateBatchRequest struct {
+	ClientID string   `json:"client_id"`
+	Op       string   `json:"op"`          // gate mnemonic, e.g. "NAND"
+	A        [][]byte `json:"a"`           // wire-encoded LWE ciphertexts
+	B        [][]byte `json:"b,omitempty"` // absent for the unary NOT
+}
+
+// LUTBatchRequest frames POST /v1/lut-batch.
+type LUTBatchRequest struct {
+	ClientID string   `json:"client_id"`
+	Space    int      `json:"space"` // message space of the table
+	Table    []int    `json:"table"` // length Space, entries in {0..Space-1}
+	Cts      [][]byte `json:"cts"`   // wire-encoded LWE ciphertexts
+}
+
+// BatchResponse carries the result ciphertexts of a gate or LUT batch.
+type BatchResponse struct {
+	Out [][]byte `json:"out"` // wire-encoded LWE ciphertexts, input order
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API of the service:
+//
+//	POST /v1/register-key   RegisterKeyRequest  → RegisterKeyResponse
+//	POST /v1/gate-batch     GateBatchRequest    → BatchResponse
+//	POST /v1/lut-batch      LUTBatchRequest     → BatchResponse
+//	GET  /v1/stats                              → Stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register-key", s.handleRegisterKey)
+	mux.HandleFunc("POST /v1/gate-batch", s.handleGateBatch)
+	mux.HandleFunc("POST /v1/lut-batch", s.handleLUTBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// decodeJSON reads one size-bounded JSON request body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, limit int64) error {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// writeJSON writes a JSON response with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a service error to an HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrUnknownSession):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBatchTooLarge), errors.As(err, &tooBig):
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// decodeCiphertexts decodes a batch of wire-encoded LWE ciphertexts.
+func decodeCiphertexts(blobs [][]byte, field string) ([]tfhe.LWECiphertext, error) {
+	if blobs == nil {
+		return nil, nil
+	}
+	cts := make([]tfhe.LWECiphertext, len(blobs))
+	for i, blob := range blobs {
+		ct, err := wire.UnmarshalLWE(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%s[%d]: %w", field, i, err)
+		}
+		cts[i] = ct
+	}
+	return cts, nil
+}
+
+// encodeCiphertexts encodes a batch of result ciphertexts.
+func encodeCiphertexts(cts []tfhe.LWECiphertext) [][]byte {
+	out := make([][]byte, len(cts))
+	for i, ct := range cts {
+		out[i] = wire.MarshalLWE(ct)
+	}
+	return out
+}
+
+// handleRegisterKey decodes and registers a client's evaluation keys.
+func (s *Server) handleRegisterKey(w http.ResponseWriter, r *http.Request) {
+	var req RegisterKeyRequest
+	if err := decodeJSON(w, r, &req, MaxKeyBodyBytes); err != nil {
+		writeError(w, fmt.Errorf("server: bad register-key request: %w", err))
+		return
+	}
+	ek, err := wire.UnmarshalEvalKey(req.EvalKey)
+	if err != nil {
+		writeError(w, fmt.Errorf("server: bad eval key: %w", err))
+		return
+	}
+	if err := s.RegisterKey(req.ClientID, ek); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterKeyResponse{Params: ek.Params.Name, KeyBytes: len(req.EvalKey)})
+}
+
+// handleGateBatch decodes, evaluates, and re-encodes one gate batch.
+func (s *Server) handleGateBatch(w http.ResponseWriter, r *http.Request) {
+	var req GateBatchRequest
+	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
+		writeError(w, fmt.Errorf("server: bad gate-batch request: %w", err))
+		return
+	}
+	op, err := engine.ParseGate(req.Op)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	a, err := decodeCiphertexts(req.A, "a")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	b, err := decodeCiphertexts(req.B, "b")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.GateBatch(req.ClientID, op, a, b)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+}
+
+// handleLUTBatch decodes, evaluates, and re-encodes one LUT batch.
+func (s *Server) handleLUTBatch(w http.ResponseWriter, r *http.Request) {
+	var req LUTBatchRequest
+	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
+		writeError(w, fmt.Errorf("server: bad lut-batch request: %w", err))
+		return
+	}
+	cts, err := decodeCiphertexts(req.Cts, "cts")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.LUTBatch(req.ClientID, cts, req.Space, req.Table)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+}
+
+// handleStats reports the service metrics snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestHTTPEndToEnd is the acceptance path of the service layer: a client
+// registers its eval key over HTTP, evaluates a gate batch through the
+// JSON-framed-binary API, and the results are bitwise identical to the
+// in-process BatchGate path (hence decrypt to the same bits).
+func TestHTTPEndToEnd(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := Dial(ts.URL, "alice")
+	if client.ClientID() != "alice" {
+		t.Fatalf("ClientID = %q", client.ClientID())
+	}
+	if err := client.RegisterKey(ek); err != nil {
+		t.Fatal(err)
+	}
+
+	bits := []bool{true, false, true, true, false, false}
+	shift := append(bits[1:], bits[0])
+	a := encryptBools(sk, 500, bits)
+	b := encryptBools(sk, 600, shift)
+
+	got, err := client.GateBatch(engine.NAND, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(ek, engine.Config{Workers: 2}).BatchGate(engine.NAND, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("HTTP gate batch differs from in-process BatchGate")
+	}
+	for i := range got {
+		if dec := sk.DecryptBool(got[i]); dec != !(bits[i] && shift[i]) {
+			t.Errorf("item %d decrypted %v, want %v", i, dec, !(bits[i] && shift[i]))
+		}
+	}
+
+	// LUT batch over HTTP.
+	table := []int{0, 1, 4, 1, 0, 1, 4, 1}
+	rngMsgs := []int{2, 6, 3}
+	lutIn := encryptInts(sk, 800, rngMsgs, 8)
+	lut, err := client.LUTBatch(lutIn, 8, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range rngMsgs {
+		if dec := decryptInt(sk, lut[i], 8); dec != table[m] {
+			t.Errorf("LUT item %d: decrypted %d, want %d", i, dec, table[m])
+		}
+	}
+
+	// Stats over HTTP.
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[0].ID != "alice" {
+		t.Fatalf("stats sessions = %+v", st.Sessions)
+	}
+	if st.Sessions[0].Counters.PBSCount == 0 {
+		t.Error("stats report zero PBS after gate batches")
+	}
+}
+
+// TestHTTPConcurrentClients drives several HTTP clients in parallel — the
+// -race check on the full network path.
+func TestHTTPConcurrentClients(t *testing.T) {
+	srv := New(Config{Stream: engine.StreamConfig{RotateWorkers: 2}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			sk, ek := testKeys(t, int64(10+ci))
+			cl := Dial(ts.URL, "client-"+string(rune('a'+ci)))
+			if err := cl.RegisterKey(ek); err != nil {
+				errCh <- err
+				return
+			}
+			bits := []bool{ci%2 == 0, true, false}
+			a := encryptBools(sk, int64(900+ci), bits)
+			b := encryptBools(sk, int64(950+ci), bits)
+			out, err := cl.GateBatch(engine.XOR, a, b)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := range out {
+				if sk.DecryptBool(out[i]) != false { // x XOR x = false
+					t.Errorf("client %d item %d: XOR(x,x) != false", ci, i)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if got := len(srv.Sessions()); got != clients {
+		t.Errorf("%d sessions registered, want %d", got, clients)
+	}
+}
+
+// TestHTTPErrors exercises the HTTP error mapping: bad JSON, bad binary,
+// unknown sessions, wrong method/path.
+func TestHTTPErrors(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{MaxBatch: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post("/v1/register-key", "{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/v1/register-key", `{"client_id":"x","eval_key":"AAAA"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad eval key: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/v1/gate-batch", `{"client_id":"ghost","op":"NAND","a":[],"b":[]}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+	if resp := post("/v1/gate-batch", `{"client_id":"x","op":"FROB","a":[],"b":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/v1/gate-batch", `{"client_id":"x","op":"NAND","a":[],"b":[],"zzz":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	// Oversized batch → 413 via the typed error mapping.
+	cl := Dial(ts.URL, "alice")
+	if err := cl.RegisterKey(ek); err != nil {
+		t.Fatal(err)
+	}
+	big := encryptBools(sk, 1, []bool{true, true, true})
+	req := GateBatchRequest{ClientID: "alice", Op: "NAND", A: encodeCiphertexts(big), B: encodeCiphertexts(big)}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/gate-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+
+	// Client-side error surfacing carries the server's message.
+	if _, err := cl.GateBatch(engine.NAND, big, big); err == nil || !strings.Contains(err.Error(), "batch size limit") {
+		t.Errorf("client error = %v, want batch size limit message", err)
+	}
+
+	// Method/path mismatches.
+	if resp, err := http.Get(ts.URL + "/v1/gate-batch"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET gate-batch: status %d, want 405", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/tfhe"
+)
+
+// Config tunes the gate service.
+type Config struct {
+	// MaxSessions bounds how many client sessions (eval keys + engines)
+	// are cached; the least-recently-used session is evicted beyond it.
+	// 0 means 64.
+	MaxSessions int
+	// MaxPending is the per-session backpressure bound: at most this many
+	// requests may be queued or in flight per session; further requests
+	// block until the backlog drains. 0 means 64.
+	MaxPending int
+	// MaxBatch caps the ciphertext count of a single request. 0 means 4096.
+	MaxBatch int
+	// MaxCoalesce caps how many ciphertexts are merged into one engine
+	// stream. 0 means 8192.
+	MaxCoalesce int
+	// Stream configures each session's streaming engine stage widths.
+	Stream engine.StreamConfig
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = 8192
+	}
+	return c
+}
+
+// Service errors. ErrUnknownSession also covers sessions that were
+// LRU-evicted: from the client's perspective both mean "register your eval
+// key (again)".
+var (
+	ErrUnknownSession = errors.New("server: unknown session: register an eval key first")
+	ErrBatchTooLarge  = errors.New("server: request exceeds the batch size limit")
+	ErrEmptyClientID  = errors.New("server: client id must be non-empty")
+)
+
+// Server is the session-sharded gate service. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	lru       *list.List // of *session; front = most recently used
+	evictions atomic.Int64
+}
+
+// New builds a gate service.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*session),
+		lru:      list.New(),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// RegisterKey creates (or replaces) the session for clientID from its
+// evaluation keys. The keys are validated structurally before any engine
+// is built — they typically arrive from an untrusted network peer.
+func (s *Server) RegisterKey(clientID string, ek tfhe.EvaluationKeys) error {
+	if clientID == "" {
+		return ErrEmptyClientID
+	}
+	if err := ek.Validate(); err != nil {
+		return fmt.Errorf("server: rejecting eval key for %q: %w", clientID, err)
+	}
+	// Build the engine outside the lock: key material is large and engine
+	// construction allocates per-worker evaluators.
+	sess := newSession(clientID, ek, s.cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.sessions[clientID]; ok {
+		s.lru.Remove(old.elem)
+	}
+	sess.elem = s.lru.PushFront(sess)
+	s.sessions[clientID] = sess
+	for len(s.sessions) > s.cfg.MaxSessions {
+		oldest := s.lru.Back()
+		victim := oldest.Value.(*session)
+		s.lru.Remove(oldest)
+		delete(s.sessions, victim.id)
+		s.evictions.Add(1)
+	}
+	return nil
+}
+
+// session looks up and LRU-touches a session.
+func (s *Server) session(clientID string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[clientID]
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	s.lru.MoveToFront(sess.elem)
+	return sess, nil
+}
+
+// Sessions returns the registered client IDs, most recently used first.
+func (s *Server) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, s.lru.Len())
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		ids = append(ids, e.Value.(*session).id)
+	}
+	return ids
+}
+
+// Evictions returns how many sessions the LRU bound has evicted.
+func (s *Server) Evictions() int64 { return s.evictions.Load() }
+
+// GateBatch evaluates out[i] = op(a[i], b[i]) on clientID's session. For
+// the unary NOT, b must be nil. Concurrent calls for the same session and
+// op may be coalesced into one engine stream.
+func (s *Server) GateBatch(clientID string, op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	sess, err := s.session(clientID)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.validateGate(op, a, b, s.cfg.MaxBatch); err != nil {
+		return nil, err
+	}
+	if len(a) == 0 {
+		return nil, nil
+	}
+	eng := sess.eng
+	return sess.submit("g:"+op.String(), a, b, func(ga, gb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+		if op == engine.NOT {
+			return eng.StreamGate(op, ga, nil)
+		}
+		return eng.StreamGate(op, ga, gb)
+	})
+}
+
+// LUTBatch applies the lookup table (length space, entries in
+// {0..space-1}) to every ciphertext on clientID's session via PBS +
+// keyswitch. Concurrent calls with an identical table may be coalesced
+// into one engine stream.
+func (s *Server) LUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	sess, err := s.session(clientID)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.validateLUT(cts, space, table, s.cfg.MaxBatch); err != nil {
+		return nil, err
+	}
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	eng := sess.eng
+	return sess.submit(lutKey(space, table), cts, nil, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+		return eng.StreamLUT(ga, space, func(m int) int { return table[m] }), nil
+	})
+}
+
+// lutKey is the coalescing key of a LUT request: streams merge only when
+// the whole table is identical.
+func lutKey(space int, table []int) string {
+	return fmt.Sprintf("l:%d:%v", space, table)
+}
+
+// SessionStats is one session's metrics snapshot.
+type SessionStats struct {
+	ID        string          `json:"id"`
+	Params    string          `json:"params"`
+	Requests  int64           `json:"requests"`  // completed submit calls
+	Items     int64           `json:"items"`     // ciphertexts processed
+	Streams   int64           `json:"streams"`   // engine streams executed
+	Coalesced int64           `json:"coalesced"` // requests that shared a stream
+	Rejected  int64           `json:"rejected"`  // requests refused by validation
+	Pending   int             `json:"pending"`   // requests currently queued or in flight
+	Counters  tfhe.OpCounters `json:"counters"`  // engine op mix as of the last completed stream
+}
+
+// Stats is the whole service's metrics snapshot.
+type Stats struct {
+	MaxSessions int            `json:"max_sessions"`
+	Evictions   int64          `json:"evictions"`
+	Sessions    []SessionStats `json:"sessions"` // most recently used first
+}
+
+// Stats snapshots per-session metrics, most recently used first.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	sessions := make([]*session, 0, s.lru.Len())
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		sessions = append(sessions, e.Value.(*session))
+	}
+	s.mu.Unlock()
+
+	st := Stats{MaxSessions: s.cfg.MaxSessions, Evictions: s.evictions.Load()}
+	for _, sess := range sessions {
+		st.Sessions = append(st.Sessions, sess.statsSnapshot())
+	}
+	return st
+}

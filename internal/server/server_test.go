@@ -1,0 +1,434 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/tfhe"
+)
+
+// fixtureKeys caches one deterministic key set per seed for the package's
+// tests (test-set keygen is ~10ms, but most tests share seed 1).
+var (
+	fixtureMu   sync.Mutex
+	fixtureKeys = map[int64]keyPair{}
+)
+
+type keyPair struct {
+	sk tfhe.SecretKeys
+	ek tfhe.EvaluationKeys
+}
+
+// testKeys returns deterministic test-set keys for a seed.
+func testKeys(t *testing.T, seed int64) (tfhe.SecretKeys, tfhe.EvaluationKeys) {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if kp, ok := fixtureKeys[seed]; ok {
+		return kp.sk, kp.ek
+	}
+	sk, ek := tfhe.GenerateKeys(rand.New(rand.NewSource(seed)), tfhe.ParamsTest)
+	fixtureKeys[seed] = keyPair{sk, ek}
+	return sk, ek
+}
+
+// encryptBools encrypts a bit vector under sk with a per-call rng.
+func encryptBools(sk tfhe.SecretKeys, seed int64, bits []bool) []tfhe.LWECiphertext {
+	rng := rand.New(rand.NewSource(seed))
+	cts := make([]tfhe.LWECiphertext, len(bits))
+	for i, b := range bits {
+		cts[i] = sk.EncryptBool(rng, b)
+	}
+	return cts
+}
+
+// encryptInts encrypts PBS-encoded integers in {0..space-1}.
+func encryptInts(sk tfhe.SecretKeys, seed int64, msgs []int, space int) []tfhe.LWECiphertext {
+	rng := rand.New(rand.NewSource(seed))
+	cts := make([]tfhe.LWECiphertext, len(msgs))
+	for i, m := range msgs {
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(m, space), sk.Params.LWEStdDev)
+	}
+	return cts
+}
+
+// decryptInt decodes a PBS-encoded integer of dimension n.
+func decryptInt(sk tfhe.SecretKeys, ct tfhe.LWECiphertext, space int) int {
+	return tfhe.DecodePBSMessage(sk.LWE.Phase(ct), space)
+}
+
+// TestGateBatchMatchesInProcess pins the service's results to the
+// in-process engine.Engine.BatchGate path bit for bit: the same inputs
+// under the same keys must produce identical ciphertexts, and they must
+// decrypt to the gate truth table.
+func TestGateBatchMatchesInProcess(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	if err := srv.RegisterKey("alice", ek); err != nil {
+		t.Fatal(err)
+	}
+
+	bits := []bool{true, false, true, true, false, false, true, false}
+	shift := append(bits[1:], bits[0])
+	a := encryptBools(sk, 100, bits)
+	b := encryptBools(sk, 200, shift)
+
+	ref := engine.New(ek, engine.Config{Workers: 2})
+	for _, op := range []engine.GateOp{engine.NAND, engine.AND, engine.OR, engine.NOR, engine.XOR, engine.XNOR} {
+		got, err := srv.GateBatch("alice", op, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		want, err := ref.BatchGate(op, a, b)
+		if err != nil {
+			t.Fatalf("%v reference: %v", op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: service ciphertexts differ from in-process BatchGate", op)
+		}
+		for i := range got {
+			if dec := sk.DecryptBool(got[i]); dec != op.Eval(bits[i], shift[i]) {
+				t.Errorf("%v item %d: decrypted %v, want %v", op, i, dec, op.Eval(bits[i], shift[i]))
+			}
+		}
+	}
+
+	// Unary NOT: linear, no bootstrap, still must round through the service.
+	got, err := srv.GateBatch("alice", engine.NOT, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if dec := sk.DecryptBool(got[i]); dec != !bits[i] {
+			t.Errorf("NOT item %d: decrypted %v, want %v", i, dec, !bits[i])
+		}
+	}
+}
+
+// TestLUTBatchMatchesInProcess pins LUT batches to the sequential
+// Evaluator.EvalLUTKS path.
+func TestLUTBatchMatchesInProcess(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	if err := srv.RegisterKey("alice", ek); err != nil {
+		t.Fatal(err)
+	}
+
+	const space = 8
+	table := make([]int, space)
+	for i := range table {
+		table[i] = (i * i) % space
+	}
+	msgs := []int{0, 1, 3, 5, 7, 2}
+	rng := rand.New(rand.NewSource(300))
+	cts := make([]tfhe.LWECiphertext, len(msgs))
+	for i, m := range msgs {
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(m, space), sk.Params.LWEStdDev)
+	}
+
+	got, err := srv.LUTBatch("alice", cts, space, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tfhe.NewEvaluator(ek)
+	for i, m := range msgs {
+		want := ev.EvalLUTKS(cts[i], space, func(x int) int { return table[x] })
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("item %d: service ciphertext differs from EvalLUTKS", i)
+		}
+		if dec := tfhe.DecodePBSMessage(sk.LWE.Phase(got[i]), space); dec != table[m] {
+			t.Errorf("item %d: decrypted %d, want table[%d]=%d", i, dec, m, table[m])
+		}
+	}
+}
+
+// TestCoalescing holds the engine busy (execMu) while several requests
+// arrive, then releases it: all requests must ride one stream.
+func TestCoalescing(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	if err := srv.RegisterKey("alice", ek); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.session("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the engine the way an in-flight stream would.
+	sess.execMu.Lock()
+
+	const requests = 4
+	bits := []bool{true, false}
+	var wg sync.WaitGroup
+	results := make([][]tfhe.LWECiphertext, requests)
+	errs := make([]error, requests)
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			a := encryptBools(sk, int64(1000+r), bits)
+			b := encryptBools(sk, int64(2000+r), bits)
+			results[r], errs[r] = srv.GateBatch("alice", engine.NAND, a, b)
+		}(r)
+	}
+
+	// Wait until one leader is parked on execMu and every other request
+	// has joined the open group.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sess.mu.Lock()
+		g := sess.groups["g:NAND"]
+		joined := 0
+		if g != nil {
+			joined = len(g.waiters)
+		}
+		sess.mu.Unlock()
+		if joined == requests {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests joined the group", joined, requests)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sess.execMu.Unlock()
+	wg.Wait()
+
+	for r := range errs {
+		if errs[r] != nil {
+			t.Fatalf("request %d: %v", r, errs[r])
+		}
+		for i := range results[r] {
+			// NAND(x, x) == !x.
+			if dec := sk.DecryptBool(results[r][i]); dec != !bits[i] {
+				t.Errorf("request %d item %d: wrong bit", r, i)
+			}
+		}
+	}
+
+	st := sess.statsSnapshot()
+	if st.Streams != 1 {
+		t.Errorf("coalesced batch ran %d streams, want 1", st.Streams)
+	}
+	if st.Coalesced != requests {
+		t.Errorf("coalesced count %d, want %d", st.Coalesced, requests)
+	}
+	if st.Items != int64(requests*len(bits)) {
+		t.Errorf("items %d, want %d", st.Items, requests*len(bits))
+	}
+}
+
+// TestConcurrentSessions hammers two sessions from many goroutines — the
+// -race e2e of the session sharding and group-commit machinery.
+func TestConcurrentSessions(t *testing.T) {
+	skA, ekA := testKeys(t, 1)
+	skB, ekB := testKeys(t, 2)
+	srv := New(Config{MaxPending: 4, Stream: engine.StreamConfig{RotateWorkers: 2}})
+	if err := srv.RegisterKey("alice", ekA); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterKey("bob", ekB); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*rounds)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			id, sk := "alice", skA
+			if gi%2 == 1 {
+				id, sk = "bob", skB
+			}
+			op := []engine.GateOp{engine.NAND, engine.XOR}[gi%2]
+			for round := 0; round < rounds; round++ {
+				bits := []bool{gi%2 == 0, round%2 == 0, true}
+				shift := []bool{round%2 == 1, gi%3 == 0, false}
+				a := encryptBools(sk, int64(10000+gi*100+round), bits)
+				b := encryptBools(sk, int64(20000+gi*100+round), shift)
+				out, err := srv.GateBatch(id, op, a, b)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range out {
+					if dec := sk.DecryptBool(out[i]); dec != op.Eval(bits[i], shift[i]) {
+						errCh <- fmt.Errorf("session %s goroutine %d round %d item %d: wrong bit", id, gi, round, i)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if len(st.Sessions) != 2 {
+		t.Fatalf("stats has %d sessions, want 2", len(st.Sessions))
+	}
+	var requests, pending int64
+	for _, ss := range st.Sessions {
+		requests += ss.Requests
+		pending += int64(ss.Pending)
+		if ss.Counters.PBSCount == 0 {
+			t.Errorf("session %s reports zero PBS", ss.ID)
+		}
+	}
+	if requests != goroutines*rounds {
+		t.Errorf("stats counted %d requests, want %d", requests, goroutines*rounds)
+	}
+	if pending != 0 {
+		t.Errorf("pending requests after drain: %d, want 0", pending)
+	}
+}
+
+// TestStatsNonBlocking pins the metrics contract: Stats must return
+// promptly even while the session's engine is occupied by an in-flight
+// stream (simulated by holding execMu with a request parked on it).
+func TestStatsNonBlocking(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	if err := srv.RegisterKey("alice", ek); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.session("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess.execMu.Lock() // the engine is "busy"
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a := encryptBools(sk, 1, []bool{true})
+		b := encryptBools(sk, 2, []bool{true})
+		if _, err := srv.GateBatch("alice", engine.NAND, a, b); err != nil {
+			t.Errorf("parked request failed: %v", err)
+		}
+	}()
+
+	statsCh := make(chan Stats, 1)
+	go func() { statsCh <- srv.Stats() }()
+	select {
+	case st := <-statsCh:
+		if st.Sessions[0].ID != "alice" {
+			t.Errorf("stats sessions = %+v", st.Sessions)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("Stats blocked behind an in-flight stream")
+	}
+
+	sess.execMu.Unlock()
+	<-done
+	if pbs := sess.statsSnapshot().Counters.PBSCount; pbs == 0 {
+		t.Error("counters snapshot not refreshed after the stream completed")
+	}
+}
+
+// TestLRUEviction bounds the session cache and checks evicted clients get
+// ErrUnknownSession while survivors keep working.
+func TestLRUEviction(t *testing.T) {
+	sk1, ek1 := testKeys(t, 1)
+	_, ek2 := testKeys(t, 2)
+	_, ek3 := testKeys(t, 3)
+	srv := New(Config{MaxSessions: 2})
+
+	if err := srv.RegisterKey("a", ek1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterKey("b", ek2); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if _, err := srv.GateBatch("a", engine.NOT, encryptBools(sk1, 1, []bool{true}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterKey("c", ek3); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := srv.Sessions(); !reflect.DeepEqual(got, []string{"c", "a"}) {
+		t.Errorf("sessions after eviction: %v, want [c a]", got)
+	}
+	if srv.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", srv.Evictions())
+	}
+	if _, err := srv.GateBatch("b", engine.NOT, encryptBools(sk1, 2, []bool{true}), nil); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("evicted session error = %v, want ErrUnknownSession", err)
+	}
+	// Survivor still works.
+	if _, err := srv.GateBatch("a", engine.NOT, encryptBools(sk1, 3, []bool{true}), nil); err != nil {
+		t.Errorf("surviving session failed: %v", err)
+	}
+}
+
+// TestValidation exercises every request-rejection path.
+func TestValidation(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{MaxBatch: 4})
+	if err := srv.RegisterKey("alice", ek); err != nil {
+		t.Fatal(err)
+	}
+	good := encryptBools(sk, 1, []bool{true, false})
+	short := good[:1]
+	badDim := []tfhe.LWECiphertext{tfhe.NewLWECiphertext(3)}
+	big := encryptBools(sk, 2, make([]bool, 5))
+
+	if err := srv.RegisterKey("", ek); !errors.Is(err, ErrEmptyClientID) {
+		t.Errorf("empty client id: %v", err)
+	}
+	if err := srv.RegisterKey("evil", tfhe.EvaluationKeys{Params: ek.Params}); err == nil {
+		t.Error("malformed eval key accepted")
+	}
+	if _, err := srv.GateBatch("nobody", engine.NAND, good, good); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown session: %v", err)
+	}
+	if _, err := srv.GateBatch("alice", engine.GateOp(99), good, good); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := srv.GateBatch("alice", engine.NAND, good, short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := srv.GateBatch("alice", engine.NAND, badDim, badDim); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if _, err := srv.GateBatch("alice", engine.NOT, good, good); err == nil {
+		t.Error("NOT with two operands accepted")
+	}
+	if _, err := srv.GateBatch("alice", engine.NAND, big, big); !errors.Is(err, ErrBatchTooLarge) {
+		t.Error("oversized batch accepted")
+	}
+	if out, err := srv.GateBatch("alice", engine.NAND, nil, nil); err != nil || out != nil {
+		t.Errorf("empty batch: out=%v err=%v", out, err)
+	}
+	if _, err := srv.LUTBatch("alice", good, 1, []int{0}); err == nil {
+		t.Error("space below 2 accepted")
+	}
+	if _, err := srv.LUTBatch("alice", good, 8, []int{0}); err == nil {
+		t.Error("short LUT table accepted")
+	}
+	if _, err := srv.LUTBatch("alice", good, 8, []int{0, 1, 2, 3, 4, 5, 6, 8}); err == nil {
+		t.Error("out-of-range LUT entry accepted")
+	}
+	if _, err := srv.LUTBatch("alice", good, 1<<20, make([]int, 1<<20)); err == nil {
+		t.Error("space larger than N accepted")
+	}
+
+	if rej := srv.Stats().Sessions[0].Rejected; rej == 0 {
+		t.Error("rejections not counted")
+	}
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/tfhe"
+)
+
+// session owns one client's evaluation keys, streaming engine, and
+// metrics. In-flight requests hold a *session directly, so an LRU-evicted
+// session finishes its outstanding work before being garbage collected;
+// only new lookups see the eviction.
+type session struct {
+	id     string
+	params tfhe.Params
+	eng    *engine.StreamingEngine
+	elem   *list.Element // position in the server's LRU list
+
+	// slots is the backpressure bound: one token per queued or in-flight
+	// request. Acquiring blocks when the session is saturated.
+	slots chan struct{}
+
+	// groups holds the open coalescing group per compatibility key. A
+	// group accumulates requests while a leader waits for the engine; see
+	// submit.
+	mu          sync.Mutex
+	groups      map[string]*group
+	execMu      sync.Mutex // serializes engine streams; the coalescing window
+	maxCoalesce int
+
+	requests  atomic.Int64
+	items     atomic.Int64
+	streams   atomic.Int64
+	coalesced atomic.Int64
+	rejected  atomic.Int64
+
+	// countersMu guards counters, the engine op-counter snapshot taken
+	// after each completed stream. Stats reads this cache instead of
+	// calling eng.Counters(), which would block behind the engine mutex
+	// for the full duration of an in-flight stream — a metrics endpoint
+	// must not hang under exactly the load it is meant to observe.
+	countersMu sync.Mutex
+	counters   tfhe.OpCounters
+}
+
+// newSession builds a session and its private streaming engine.
+func newSession(id string, ek tfhe.EvaluationKeys, cfg Config) *session {
+	return &session{
+		id:          id,
+		params:      ek.Params,
+		eng:         engine.NewStreaming(ek, cfg.Stream),
+		slots:       make(chan struct{}, cfg.MaxPending),
+		groups:      make(map[string]*group),
+		maxCoalesce: cfg.MaxCoalesce,
+	}
+}
+
+// group is one group-commit batch: the concatenated operands of every
+// request that joined, and the waiters to scatter the results back to.
+type group struct {
+	a, b    []tfhe.LWECiphertext
+	waiters []*waiter
+}
+
+// waiter is one request's slice of a group.
+type waiter struct {
+	off, n int
+	ch     chan groupResult
+}
+
+// groupResult is what a leader delivers to each waiter.
+type groupResult struct {
+	out []tfhe.LWECiphertext
+	err error
+}
+
+// submit runs (a, b) through the session's engine under the coalescing
+// protocol. Requests with equal keys that arrive while the engine is busy
+// are merged into one stream; run receives the concatenated operands. The
+// caller's slice of the stream output is returned in request order.
+//
+// The protocol is group-commit: the first request to open a group for a
+// key is its leader. The leader queues for the engine (execMu); while it
+// waits, followers append their operands to the open group. When the
+// leader acquires the engine it seals the group (removing it from the
+// map, so later arrivals open a fresh group behind it), runs one stream
+// over the whole batch, and scatters results to every waiter.
+func (s *session) submit(key string, a, b []tfhe.LWECiphertext, run func(a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)) ([]tfhe.LWECiphertext, error) {
+	// Backpressure: block until the session has room for this request.
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+
+	w := &waiter{n: len(a), ch: make(chan groupResult, 1)}
+	s.mu.Lock()
+	g, open := s.groups[key]
+	leader := false
+	if !open || len(g.a)+len(a) > s.maxCoalesce {
+		// No open group (or it is full): open a new one and lead it. A
+		// full group stays owned by its own leader; replacing the map
+		// entry just closes it to further joiners.
+		g = &group{}
+		s.groups[key] = g
+		leader = true
+	}
+	w.off = len(g.a)
+	g.a = append(g.a, a...)
+	g.b = append(g.b, b...)
+	g.waiters = append(g.waiters, w)
+	s.mu.Unlock()
+
+	if leader {
+		s.execMu.Lock()
+		s.mu.Lock()
+		// Seal: only remove the map entry if it is still ours — a
+		// follower may have already replaced a full group.
+		if s.groups[key] == g {
+			delete(s.groups, key)
+		}
+		ga, gb, waiters := g.a, g.b, g.waiters
+		s.mu.Unlock()
+
+		out, err := run(ga, gb)
+		// Snapshot the engine counters while still holding execMu: every
+		// engine call goes through submit, so the engine is idle here and
+		// Counters() cannot block.
+		snap := s.eng.Counters()
+		s.countersMu.Lock()
+		s.counters = snap
+		s.countersMu.Unlock()
+		s.execMu.Unlock()
+
+		s.streams.Add(1)
+		if len(waiters) > 1 {
+			s.coalesced.Add(int64(len(waiters)))
+		}
+		if err == nil && len(out) != len(ga) {
+			err = fmt.Errorf("server: engine returned %d outputs for %d inputs", len(out), len(ga))
+		}
+		for _, wt := range waiters {
+			if err != nil {
+				wt.ch <- groupResult{err: err}
+				continue
+			}
+			wt.ch <- groupResult{out: out[wt.off : wt.off+wt.n : wt.off+wt.n]}
+		}
+	}
+
+	res := <-w.ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	s.requests.Add(1)
+	s.items.Add(int64(w.n))
+	return res.out, nil
+}
+
+// validateGate rejects malformed gate requests before they can join a
+// coalescing group (one bad request must never poison a shared stream).
+func (s *session) validateGate(op engine.GateOp, a, b []tfhe.LWECiphertext, maxBatch int) error {
+	fail := func(err error) error {
+		s.rejected.Add(1)
+		return err
+	}
+	if op < engine.NAND || op > engine.NOT {
+		return fail(fmt.Errorf("server: unknown gate op %d", int(op)))
+	}
+	if len(a) > maxBatch {
+		return fail(fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(a), maxBatch))
+	}
+	if op == engine.NOT {
+		if b != nil {
+			return fail(fmt.Errorf("server: NOT takes one operand list, got a second of length %d", len(b)))
+		}
+	} else if len(a) != len(b) {
+		return fail(fmt.Errorf("server: operand length mismatch: %d vs %d", len(a), len(b)))
+	}
+	if err := s.checkDims(a); err != nil {
+		return fail(err)
+	}
+	if op != engine.NOT {
+		if err := s.checkDims(b); err != nil {
+			return fail(err)
+		}
+	}
+	return nil
+}
+
+// validateLUT rejects malformed LUT requests before they can join a
+// coalescing group.
+func (s *session) validateLUT(cts []tfhe.LWECiphertext, space int, table []int, maxBatch int) error {
+	fail := func(err error) error {
+		s.rejected.Add(1)
+		return err
+	}
+	if len(cts) > maxBatch {
+		return fail(fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(cts), maxBatch))
+	}
+	if space < 2 || space > s.params.N {
+		return fail(fmt.Errorf("server: LUT space %d out of range [2, %d]", space, s.params.N))
+	}
+	if len(table) != space {
+		return fail(fmt.Errorf("server: LUT table has %d entries, want %d", len(table), space))
+	}
+	for i, v := range table {
+		if v < 0 || v >= space {
+			return fail(fmt.Errorf("server: LUT entry %d = %d outside {0..%d}", i, v, space-1))
+		}
+	}
+	if err := s.checkDims(cts); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// checkDims verifies every ciphertext has the session's LWE dimension.
+func (s *session) checkDims(cts []tfhe.LWECiphertext) error {
+	for i, ct := range cts {
+		if ct.N() != s.params.SmallN {
+			return fmt.Errorf("server: ciphertext %d has LWE dimension %d, want n=%d", i, ct.N(), s.params.SmallN)
+		}
+	}
+	return nil
+}
+
+// statsSnapshot captures the session's metrics. The engine operation mix
+// is the cached post-stream snapshot, so this never blocks behind an
+// in-flight stream.
+func (s *session) statsSnapshot() SessionStats {
+	s.countersMu.Lock()
+	counters := s.counters
+	s.countersMu.Unlock()
+	return SessionStats{
+		ID:        s.id,
+		Params:    s.params.Name,
+		Requests:  s.requests.Load(),
+		Items:     s.items.Load(),
+		Streams:   s.streams.Load(),
+		Coalesced: s.coalesced.Load(),
+		Rejected:  s.rejected.Load(),
+		Pending:   len(s.slots),
+		Counters:  counters,
+	}
+}

@@ -32,11 +32,15 @@ package strix
 
 import (
 	"math/rand"
+	"net"
+	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/server"
 	"repro/internal/tfhe"
 )
 
@@ -196,6 +200,53 @@ func (c *FHEContext) BatchGate(op GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWE
 // on the default engine, one output per gate.
 func (c *FHEContext) EvalCircuit(inputs []tfhe.LWECiphertext, gates []Gate) ([]tfhe.LWECiphertext, error) {
 	return c.Engine().EvalCircuit(inputs, gates)
+}
+
+// ServiceConfig tunes the networked gate service (session bounds,
+// backpressure, coalescing, and per-session streaming stage widths).
+type ServiceConfig = server.Config
+
+// GateService is the session-sharded FHE gate server: clients register
+// evaluation keys over the wire and stream gate/LUT batches through
+// per-session streaming engines. See NewGateService, Serve, and Dial.
+type GateService = server.Server
+
+// GateClient speaks the gate service's HTTP API for one client ID,
+// shipping only evaluation keys and ciphertexts — secret keys stay with
+// the caller.
+type GateClient = server.Client
+
+// NewGateService builds a gate service. The zero ServiceConfig gives a
+// 64-session LRU, 64 pending requests per session, and NumCPU rotate
+// workers per session engine.
+func NewGateService(cfg ServiceConfig) *GateService {
+	return server.New(cfg)
+}
+
+// Serve runs the gate service's HTTP API on the listener until it fails
+// or is closed — the server half of the client/server split (clients keep
+// secret keys; the service holds only evaluation keys). The underlying
+// http.Server carries connection timeouts so unauthenticated peers cannot
+// park half-read bodies or idle connections indefinitely; the read
+// timeout is generous because evaluation-key uploads are legitimately
+// large (set IV is ~1.45 GB of base64). There is deliberately no write
+// timeout: a response is only written after the FHE computation, which
+// can itself take minutes on full-scale parameters.
+func Serve(l net.Listener, srv *GateService) error {
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(l)
+}
+
+// Dial returns a client for the gate service at baseURL (e.g.
+// "http://127.0.0.1:8475") acting as clientID. Register the context's
+// evaluation keys with RegisterKey, then batch gates and LUTs remotely.
+func Dial(baseURL, clientID string) *GateClient {
+	return server.Dial(baseURL, clientID)
 }
 
 // Accelerator wraps the Strix performance model and epoch scheduler.
