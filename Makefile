@@ -5,10 +5,20 @@ GO ?= go
 
 # Coverage floor for `make cover` (the test-race-cover CI job). This is a
 # ratchet: raise it when coverage genuinely rises, never lower it to get a
-# PR past CI. Current total is ~71%.
-COVER_FLOOR ?= 68.0
+# PR past CI. The value lives ONLY here — CI consumes it through
+# `make cover`. Current total is ~71.6%.
+COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race cover fuzz-regress bench bench-smoke bench-stream lint fmt fmt-check vet docs
+# The benchmarks behind the perf trajectory (BENCH_pbs.json): the two
+# engines plus the circuit scheduler. benchjson derives the CI-gated
+# machine-portable ratios from these, so the regexp must keep matching
+# every benchmark cmd/benchjson's gatedRatios table names.
+BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul
+# Allowed fractional regression of a gated ratio before the perf CI job
+# fails (see cmd/benchjson).
+BENCH_TOLERANCE = 0.25
+
+.PHONY: all build test race cover fuzz-regress bench bench-smoke bench-stream bench-json bench-check lint fmt fmt-check vet docs
 
 all: build test
 
@@ -19,10 +29,11 @@ test:
 	$(GO) test ./...
 
 # The concurrent packages: the worker-pool and streaming engines, the
-# shared FFT processor pool they lean on, and the session-sharded gate
-# service (group-commit coalescing) with its wire codec.
+# circuit scheduler that feeds them, the shared FFT processor pool they
+# lean on, and the session-sharded gate service (group-commit coalescing)
+# with its wire codec.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/fft/... ./internal/server/... ./internal/wire/...
+	$(GO) test -race ./internal/engine/... ./internal/fft/... ./internal/sched/... ./internal/server/... ./internal/wire/...
 
 # Full suite under the race detector with a coverage floor: catches both
 # data races anywhere and silent loss of test coverage.
@@ -49,6 +60,28 @@ bench-smoke:
 # the two-level batching thesis is judged by.
 bench-stream:
 	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime=1x .
+
+# Regenerate the committed perf baseline (BENCH_pbs.json): run the key
+# engine/scheduler benchmarks and serialize them with the gated ratios.
+# Commit the result when the perf characteristics legitimately change.
+# Run this on hardware representative of CI (multicore): the gated
+# speedup ratios scale with core count, so a baseline generated on a
+# narrow machine (the JSON records its "cpus"; benchjson warns when CI
+# runs wider) sets a lenient floor — it still catches regressions worse
+# than the tolerance below that machine's ratio and benchmarks that
+# vanish, but not a loss of multicore speedup the narrow machine never
+# exhibited. Regenerate on wide hardware to make the floor meaningful.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_JSON_BENCHES)' -benchtime 5x -count 1 . > bench.out
+	$(GO) run ./cmd/benchjson -bench bench.out -o BENCH_pbs.json
+
+# The CI perf gate: fresh benchmark run compared against the committed
+# baseline; fails when a gated (machine-portable) ratio regresses more
+# than BENCH_TOLERANCE.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_JSON_BENCHES)' -benchtime 5x -count 1 . > bench-new.out
+	$(GO) run ./cmd/benchjson -bench bench-new.out -o BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare -tol $(BENCH_TOLERANCE) BENCH_pbs.json BENCH_new.json
 
 lint: fmt-check vet
 

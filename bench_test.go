@@ -19,6 +19,8 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/intops"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 	"repro/internal/workload"
 )
@@ -328,6 +330,76 @@ func BenchmarkStreamLUT(b *testing.B) {
 				s.StreamLUT(cts, space, sq)
 			}
 			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "PBS/s")
+		})
+	}
+}
+
+// BenchmarkCircuitMul measures the levelizing circuit scheduler against
+// the unscheduled per-gate path on a 3-digit encrypted multiply — the
+// same DAG, dispatched one PBS at a time (seq) versus level batches over
+// the engines. The seq↔sched-w2 pair feeds the CI perf gate's
+// machine-portable speedup ratio (cmd/benchjson); sched-wmax shows the
+// full-width speedup of the benchmarking machine.
+func BenchmarkCircuitMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const digits = 3
+	x, err := intops.Encrypt(rng, sk, 57, digits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := intops.Encrypt(rng, sk, 46, digits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := append(append([]tfhe.LWECiphertext{}, x.Digits...), y.Digits...)
+
+	circ, err := intops.MulCircuit(digits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedule, err := sched.Compile(circ, sched.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pbs := float64(schedule.Stats().TotalPBS)
+
+	b.Run("seq", func(b *testing.B) {
+		ev := tfhe.NewEvaluator(ek)
+		if _, err := sched.RunSequential(circ, ev, inputs); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.RunSequential(circ, ev, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*pbs/b.Elapsed().Seconds(), "PBS/s")
+	})
+
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"sched-w2", 2},
+		{"sched-wmax", runtime.NumCPU()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			r := &sched.Runner{
+				Batch:  engine.New(ek, engine.Config{Workers: cfg.workers}),
+				Stream: engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: cfg.workers}),
+			}
+			if _, err := r.RunSchedule(circ, schedule, inputs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunSchedule(circ, schedule, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*pbs/b.Elapsed().Seconds(), "PBS/s")
 		})
 	}
 }

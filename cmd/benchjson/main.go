@@ -1,0 +1,289 @@
+// Command benchjson turns `go test -bench` output into the committed
+// perf-trajectory JSON (BENCH_pbs.json) and gates CI on regressions.
+//
+// Raw PBS/s numbers depend on the machine that ran them, so they are
+// recorded as an informational trajectory only. What CI gates on are the
+// *gated ratios* — speedups between benchmarks run back-to-back on the
+// same machine (scheduled vs sequential circuit execution, streaming vs
+// flat batching), which are portable across hardware: a faster runner
+// speeds both sides of a ratio. The compare mode fails when a gated
+// ratio of the current run drops more than the tolerance below the
+// committed baseline.
+//
+// The baseline's quality scales with where it was generated: the gated
+// speedups grow with core count, so regenerate BENCH_pbs.json (`make
+// bench-json`) on hardware at least as wide as the CI runners to get the
+// tightest floor. The JSON records the generating machine's CPU count so
+// a narrow baseline is visible in review.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... . > bench.out
+//	benchjson -bench bench.out -o BENCH_pbs.json       # (re)generate baseline
+//	benchjson -compare BENCH_pbs.json BENCH_new.json   # CI gate, 25% band
+//	benchjson -compare -tol 0.10 base.json new.json    # tighter band
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is the schema of BENCH_pbs.json.
+type File struct {
+	Schema int `json:"schema"`
+	// CPUs on the generating machine — context for the informational
+	// numbers, not used by the gate.
+	CPUs   int    `json:"cpus"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// metrics (ns/op plus every custom unit the benchmark reported).
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	// Gated holds the machine-portable ratios CI enforces.
+	Gated map[string]float64 `json:"gated"`
+}
+
+// gatedRatio defines one machine-portable metric: numerator and
+// denominator benchmark (by metric), measured in the same run.
+type gatedRatio struct {
+	name     string
+	num, den string
+	unit     string
+}
+
+// The gated ratios. Both sides of each ratio run on the same machine in
+// the same `go test -bench` invocation, so the quotient cancels hardware
+// speed and isolates what the code controls.
+var gatedRatios = []gatedRatio{
+	// The tentpole claim: levelized scheduling beats the per-gate path on
+	// a multi-digit multiply (ratio ≈ min(workers, mean level width) on
+	// idle multicore hardware; ≈ 1 on a single core).
+	{name: "circuit_sched_vs_seq_w2", num: "BenchmarkCircuitMul/sched-w2", den: "BenchmarkCircuitMul/seq", unit: "PBS/s"},
+	// The streaming pipeline must stay competitive with the flat pool at
+	// equal width ("PBS/s" and "gates/s" both count one PBS per item).
+	{name: "stream_vs_batch_w1", num: "BenchmarkStreamGate/workers=1", den: "BenchmarkBatchGate/workers=1", unit: "PBS/s"},
+}
+
+// metricOf returns a benchmark metric, accepting gates/s as an alias for
+// PBS/s (one gate costs exactly one PBS).
+func metricOf(f *File, bench, unit string) (float64, error) {
+	m, ok := f.Benchmarks[bench]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %q missing", bench)
+	}
+	if v, ok := m[unit]; ok {
+		return v, nil
+	}
+	if unit == "PBS/s" {
+		if v, ok := m["gates/s"]; ok {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("benchmark %q has no %q metric (has %v)", bench, unit, keys(m))
+}
+
+// keys lists a metric map's keys, sorted.
+func keys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// benchLine matches one `go test -bench` result line:
+// name[-GOMAXPROCS]  N  value unit  [value unit ...]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.+)$`)
+
+// parseBench parses `go test -bench` output into a File.
+func parseBench(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		Schema:     1,
+		CPUs:       runtime.NumCPU(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Benchmarks: map[string]map[string]float64{},
+		Gated:      map[string]float64{},
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[3])
+		metrics := f.Benchmarks[name]
+		if metrics == nil {
+			metrics = map[string]float64{}
+			f.Benchmarks[name] = metrics
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	for _, g := range gatedRatios {
+		num, err := metricOf(f, g.num, g.unit)
+		if err != nil {
+			return nil, fmt.Errorf("gated ratio %s: %w", g.name, err)
+		}
+		den, err := metricOf(f, g.den, g.unit)
+		if err != nil {
+			return nil, fmt.Errorf("gated ratio %s: %w", g.name, err)
+		}
+		if den == 0 {
+			return nil, fmt.Errorf("gated ratio %s: zero denominator", g.name)
+		}
+		f.Gated[g.name] = num / den
+	}
+	return f, nil
+}
+
+// loadFile reads a BENCH JSON file.
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// compare gates current against baseline: every gated ratio of the
+// baseline must be present and no more than tol (fractional) below it.
+// Raw benchmark deltas print informationally. Returns an error listing
+// every violated gate.
+func compare(baseline, current *File, tol float64, w io.Writer) error {
+	fmt.Fprintf(w, "baseline: %d CPUs %s/%s; current: %d CPUs %s/%s\n",
+		baseline.CPUs, baseline.GoOS, baseline.GoArch, current.CPUs, current.GoOS, current.GoArch)
+	if current.CPUs > baseline.CPUs {
+		fmt.Fprintf(w, "  WARNING: baseline was generated on a narrower machine (%d < %d CPUs).\n"+
+			"  The gated speedup floors are lenient until someone regenerates the\n"+
+			"  baseline on hardware this wide: `make bench-json` here, commit BENCH_pbs.json.\n",
+			baseline.CPUs, current.CPUs)
+	}
+
+	var names []string
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baseline.Benchmarks[name]["ns/op"]
+		cur, ok2 := current.Benchmarks[name]["ns/op"]
+		if ok && ok2 && base > 0 {
+			fmt.Fprintf(w, "  info %-44s ns/op %12.0f -> %12.0f (%+.1f%%)\n", name, base, cur, 100*(cur-base)/base)
+		}
+	}
+
+	var failures []string
+	var gates []string
+	for name := range baseline.Gated {
+		gates = append(gates, name)
+	}
+	sort.Strings(gates)
+	for _, name := range gates {
+		base := baseline.Gated[name]
+		cur, ok := current.Gated[name]
+		floor := base * (1 - tol)
+		status := "ok"
+		switch {
+		case !ok:
+			status = "MISSING"
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+		case cur < floor:
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.3f < floor %.3f (baseline %.3f, tolerance %.0f%%)", name, cur, floor, base, 100*tol))
+		}
+		fmt.Fprintf(w, "  gate %-44s baseline %7.3f  floor %7.3f  current %7.3f  %s\n", name, base, floor, cur, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	bench := flag.String("bench", "", "parse `go test -bench` output from this file (- for stdin)")
+	out := flag.String("o", "", "write parsed JSON here (default stdout)")
+	cmp := flag.Bool("compare", false, "compare mode: args are <baseline.json> <current.json>")
+	tol := flag.Float64("tol", 0.25, "compare mode: allowed fractional regression of gated ratios")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-compare needs <baseline.json> <current.json>"))
+		}
+		baseline, err := loadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		current, err := loadFile(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		if err := compare(baseline, current, *tol, os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println("perf gate passed")
+		return
+	}
+
+	if *bench == "" {
+		fail(fmt.Errorf("need -bench <file> or -compare"))
+	}
+	var r io.Reader = os.Stdin
+	if *bench != "-" {
+		f, err := os.Open(*bench)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	f, err := parseBench(r)
+	if err != nil {
+		fail(err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d gated ratios)\n", *out, len(f.Benchmarks), len(f.Gated))
+}

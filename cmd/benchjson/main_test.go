@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/cmd/internal/cmdtest"
+)
+
+// sampleBench is a condensed `go test -bench` output covering every
+// benchmark the gated ratios need, plus noise lines the parser must skip.
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkBatchGate/workers=1-8     	       5	  31000000 ns/op	       100.0 gates/s
+BenchmarkStreamGate/workers=1-8    	       5	  30000000 ns/op	       105.0 PBS/s
+BenchmarkCircuitMul/seq-8          	       5	  75000000 ns/op	       250.0 PBS/s
+BenchmarkCircuitMul/sched-w2-8     	       5	  38000000 ns/op	       500.0 PBS/s
+BenchmarkCircuitMul/sched-wmax-8   	       5	  20000000 ns/op	       950.0 PBS/s
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Benchmarks["BenchmarkCircuitMul/seq"]["PBS/s"]; got != 250.0 {
+		t.Errorf("seq PBS/s = %v", got)
+	}
+	if got := f.Benchmarks["BenchmarkCircuitMul/seq"]["ns/op"]; got != 75000000 {
+		t.Errorf("seq ns/op = %v", got)
+	}
+	if got := f.Gated["circuit_sched_vs_seq_w2"]; got != 2.0 {
+		t.Errorf("circuit ratio = %v, want 2.0", got)
+	}
+	if got := f.Gated["stream_vs_batch_w1"]; got != 1.05 {
+		t.Errorf("stream ratio = %v, want 1.05", got)
+	}
+}
+
+func TestParseBenchMissingGateBenchmark(t *testing.T) {
+	partial := "BenchmarkCircuitMul/seq-8 \t 5 \t 75000000 ns/op \t 250.0 PBS/s\n"
+	if _, err := parseBench(strings.NewReader(partial)); err == nil {
+		t.Error("missing gate benchmarks should error, not silently drop the gate")
+	}
+	if _, err := parseBench(strings.NewReader("no benchmarks here")); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical run passes at any tolerance.
+	if err := compare(base, base, 0, os.Stderr); err != nil {
+		t.Errorf("self-compare failed: %v", err)
+	}
+	// A regressed ratio inside the band passes, outside it fails.
+	regressed := *base
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05}
+	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
+		t.Errorf("20%% regression inside 25%% band failed: %v", err)
+	}
+	if err := compare(base, &regressed, 0.10, os.Stderr); err == nil {
+		t.Error("20% regression outside 10% band passed")
+	}
+	// A gate missing from the current run fails.
+	missing := *base
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05}
+	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
+		t.Error("missing gate passed")
+	}
+}
+
+// TestSmoke drives the compiled binary end to end: parse → JSON → compare.
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+	dir := t.TempDir()
+	benchOut := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(benchOut, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := filepath.Join(dir, "base.json")
+	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
+	cmdtest.WantSubstrings(t, out, "wrote", "2 gated ratios")
+
+	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
+	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2")
+
+	if out, err := cmdtest.RunErr(t, bin, "-compare", baseJSON); err == nil {
+		t.Errorf("missing compare arg succeeded:\n%s", out)
+	}
+	if out, err := cmdtest.RunErr(t, bin); err == nil {
+		t.Errorf("no mode succeeded:\n%s", out)
+	}
+}
+
+func TestCompareWarnsOnNarrowBaseline(t *testing.T) {
+	base, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := *base
+	wide.CPUs = base.CPUs + 4
+	var buf strings.Builder
+	if err := compare(base, &wide, 0.25, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "WARNING: baseline was generated on a narrower machine") {
+		t.Errorf("no narrow-baseline warning in:\n%s", buf.String())
+	}
+}

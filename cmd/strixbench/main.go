@@ -15,6 +15,8 @@
 //	strixbench -stream 256 -parallel 4 # ... with 4 blind-rotate workers
 //	strixbench -serve -clients 4       # end-to-end gate service PBS/s
 //	strixbench -serve -clients 8 -gates 32 -parallel 4
+//	strixbench -circuit 4              # scheduled vs sequential multiply PBS/s
+//	strixbench -circuit 4 -parallel 8  # ... with explicit engine widths
 package main
 
 import (
@@ -31,6 +33,8 @@ import (
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/intops"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 )
 
@@ -267,6 +271,120 @@ func runServe(set string, clients, gates, workers int) error {
 	return nil
 }
 
+// runCircuit measures the levelizing circuit scheduler against the
+// unscheduled per-gate path on a multi-digit encrypted multiply — the
+// carry-chain workload whose partial products give the scheduler wide
+// levels to batch. Both paths execute the identical DAG (and produce
+// bitwise-identical ciphertexts, which is verified); only the dispatch
+// strategy differs, so the speedup is pure scheduling.
+func runCircuit(set string, digits, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	// 15 radix-4 digits is already a 2^30 value range; beyond that
+	// MaxValue overflows int anyway.
+	if digits < 1 || digits > 15 {
+		return fmt.Errorf("-circuit digit count must be in [1,15], got %d", digits)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	fmt.Printf("circuit mode: set %s, %d-digit multiply, %d workers\n", p.Name, digits, workers)
+	fmt.Print("generating keys... ")
+	start := time.Now()
+	rng := rand.New(rand.NewSource(1))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	vx := rng.Intn(intops.MaxValue(digits) + 1)
+	vy := rng.Intn(intops.MaxValue(digits) + 1)
+	x, err := intops.Encrypt(rng, sk, vx, digits)
+	if err != nil {
+		return err
+	}
+	y, err := intops.Encrypt(rng, sk, vy, digits)
+	if err != nil {
+		return err
+	}
+	inputs := make([]tfhe.LWECiphertext, 0, 2*digits)
+	inputs = append(inputs, x.Digits...)
+	inputs = append(inputs, y.Digits...)
+
+	circ, err := intops.MulCircuit(digits)
+	if err != nil {
+		return err
+	}
+	schedule, err := sched.Compile(circ, sched.Config{})
+	if err != nil {
+		return err
+	}
+	st := schedule.Stats()
+	fmt.Printf("plan     : %s\n", schedule)
+
+	// Sequential reference: one evaluator, one PBS at a time, same DAG.
+	ev := tfhe.NewEvaluator(ek)
+	if _, err := sched.RunSequential(circ, ev, inputs); err != nil { // warm twiddles
+		return err
+	}
+	start = time.Now()
+	seqOut, err := sched.RunSequential(circ, ev, inputs)
+	if err != nil {
+		return err
+	}
+	seqElapsed := time.Since(start)
+	seqRate := float64(st.TotalPBS) / seqElapsed.Seconds()
+	fmt.Printf("sequential: %d PBS in %v  =  %.1f PBS/s\n",
+		st.TotalPBS, seqElapsed.Round(time.Millisecond), seqRate)
+
+	// Scheduled: levelized dispatches over both engines.
+	runner := &sched.Runner{
+		Batch:  engine.New(ek, engine.Config{Workers: workers}),
+		Stream: engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: workers}),
+	}
+	if _, err := runner.RunSchedule(circ, schedule, inputs); err != nil { // warm pools
+		return err
+	}
+	start = time.Now()
+	schedOut, err := runner.RunSchedule(circ, schedule, inputs)
+	if err != nil {
+		return err
+	}
+	schedElapsed := time.Since(start)
+	schedRate := float64(st.TotalPBS) / schedElapsed.Seconds()
+	fmt.Printf("scheduled : %d PBS in %v  =  %.1f PBS/s  (%.2fx the per-gate path, %d workers)\n",
+		st.TotalPBS, schedElapsed.Round(time.Millisecond), schedRate, schedRate/seqRate, workers)
+
+	// Verify: bitwise-identical ciphertexts and the correct product.
+	for i := range seqOut {
+		if seqOut[i].B != schedOut[i].B {
+			return fmt.Errorf("scheduled output %d differs from sequential", i)
+		}
+		for j := range seqOut[i].A {
+			if seqOut[i].A[j] != schedOut[i].A[j] {
+				return fmt.Errorf("scheduled output %d differs from sequential", i)
+			}
+		}
+	}
+	want := (vx * vy) % (intops.MaxValue(digits) + 1)
+	if got := intops.Decrypt(sk, intops.Int{Digits: schedOut}); got != want {
+		return fmt.Errorf("decrypted product %d, want %d (%d*%d)", got, want, vx, vy)
+	}
+	fmt.Printf("verified  : %d * %d = %d mod %d, bitwise identical to sequential\n",
+		vx, vy, want, intops.MaxValue(digits)+1)
+
+	model, err := arch.NewModel(arch.DefaultConfig(), p)
+	if err != nil {
+		fmt.Printf("accelerator model unavailable for set %s: %v\n", p.Name, err)
+		return nil
+	}
+	predicted := model.ThroughputPBS()
+	fmt.Printf("strix     : predicted %.1f PBS/s  (%.0fx the scheduled path)\n",
+		predicted, predicted/schedRate)
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	format := flag.String("format", "text", "output format: text or csv")
@@ -274,6 +392,7 @@ func main() {
 	full := flag.Bool("full", false, "run fig1 with full-scale parameter set I (slow)")
 	batch := flag.Int("batch", 0, "software batch mode: PBS per batch (enables the mode)")
 	stream := flag.Int("stream", 0, "streaming pipeline mode: PBS per stream (enables the mode)")
+	circuit := flag.Int("circuit", 0, "circuit scheduler mode: multiply digit count (enables the mode)")
 	serve := flag.Bool("serve", false, "gate service mode: end-to-end PBS/s through an HTTP server")
 	clients := flag.Int("clients", 4, "serve mode: concurrent client sessions")
 	gates := flag.Int("gates", 64, "serve mode: gates per client batch")
@@ -289,13 +408,13 @@ func main() {
 	}
 
 	modes := 0
-	for _, on := range []bool{*batch != 0, *stream != 0, *serve} {
+	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *serve} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, and -serve are mutually exclusive; run them separately")
+		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, and -serve are mutually exclusive; run them separately")
 		os.Exit(1)
 	}
 
@@ -325,6 +444,14 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runStream(*set, *stream, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *circuit != 0 {
+		if err := runCircuit(*set, *circuit, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "strixbench:", err)
 			os.Exit(1)
 		}

@@ -25,6 +25,19 @@ func TestSmoke(t *testing.T) {
 		cmdtest.WantSubstrings(t, out, "stream mode: set test", "software :", "PBS/s")
 	})
 
+	t.Run("circuit", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-circuit", "2", "-parallel", "2", "-set", "test")
+		cmdtest.WantSubstrings(t, out, "circuit mode: set test, 2-digit multiply",
+			"plan     :", "sequential:", "scheduled :", "verified  :", "bitwise identical")
+	})
+
+	t.Run("circuit bad digits", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "-circuit", "-3")
+		if err == nil {
+			t.Errorf("negative digit count succeeded:\n%s", out)
+		}
+	})
+
 	t.Run("serve", func(t *testing.T) {
 		out := cmdtest.Run(t, bin, "-serve", "-clients", "2", "-gates", "4", "-parallel", "2", "-set", "test")
 		cmdtest.WantSubstrings(t, out, "serve mode: set test, 2 clients x 4 gates",

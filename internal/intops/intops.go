@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 )
 
@@ -31,13 +32,69 @@ func MaxValue(digits int) int {
 	return v - 1
 }
 
-// Evaluator performs homomorphic integer arithmetic.
+// Evaluator performs homomorphic integer arithmetic. Every operation is
+// built as a sched circuit and executed on the configured backend: the
+// sequential evaluator (New) runs the DAG node by node, the scheduled
+// backend (NewScheduled) levelizes it and dispatches whole levels as
+// engine batches. Both backends are bitwise identical.
 type Evaluator struct {
+	// Eval is the sequential backend's evaluator; nil when scheduled.
 	Eval *tfhe.Evaluator
+
+	runner *sched.Runner
+	cfg    sched.Config
 }
 
-// New wraps a TFHE evaluator.
+// New wraps a TFHE evaluator (the sequential backend).
 func New(ev *tfhe.Evaluator) *Evaluator { return &Evaluator{Eval: ev} }
+
+// NewScheduled builds an evaluator over the levelizing scheduler with the
+// default cost model.
+func NewScheduled(r *sched.Runner) *Evaluator { return &Evaluator{runner: r} }
+
+// NewScheduledConfig builds a scheduled evaluator with an explicit
+// compile configuration (cost-model threshold or forced routing).
+func NewScheduledConfig(r *sched.Runner, cfg sched.Config) *Evaluator {
+	return &Evaluator{runner: r, cfg: cfg}
+}
+
+// exec runs a built circuit on the backend.
+func (e *Evaluator) exec(c *sched.Circuit, ins []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	if e.runner != nil {
+		return e.runner.Run(c, e.cfg, ins)
+	}
+	return sched.RunSequential(c, e.Eval, ins)
+}
+
+// binary builds a two-operand digit circuit (equal widths — the caller
+// validates) and executes it.
+func (e *Evaluator) binary(x, y Int, build func(b *sched.Builder, xw, yw []sched.Wire) []sched.Wire) ([]tfhe.LWECiphertext, error) {
+	c, err := binaryCircuit(x.NumDigits(), build)
+	if err != nil {
+		return nil, err
+	}
+	ins := make([]tfhe.LWECiphertext, 0, x.NumDigits()+y.NumDigits())
+	ins = append(ins, x.Digits...)
+	ins = append(ins, y.Digits...)
+	return e.exec(c, ins)
+}
+
+// unary builds a one-operand digit circuit and executes it, returning
+// the outputs as an Int.
+func (e *Evaluator) unary(x Int, build func(b *sched.Builder, xw []sched.Wire) []sched.Wire) (Int, error) {
+	b := sched.NewBuilder()
+	xw := b.Inputs(x.NumDigits())
+	b.Output(build(b, xw)...)
+	c, err := b.Build()
+	if err != nil {
+		return Int{}, err
+	}
+	digits, err := e.exec(c, x.Digits)
+	if err != nil {
+		return Int{}, err
+	}
+	return Int{Digits: digits}, nil
+}
 
 // Encrypt encrypts v as a digits-long integer under the secret keys.
 func Encrypt(rng *rand.Rand, sk tfhe.SecretKeys, v, digits int) (Int, error) {
@@ -63,30 +120,19 @@ func Decrypt(sk tfhe.SecretKeys, x Int) int {
 }
 
 // Add returns x + y mod Base^digits. Each digit costs two bootstraps: one
-// to extract the carry, one to reduce the digit.
+// to extract the carry, one to reduce the digit (the last digit skips the
+// carry).
 func (e *Evaluator) Add(x, y Int) (Int, error) {
 	if x.NumDigits() != y.NumDigits() {
 		return Int{}, fmt.Errorf("intops: digit count mismatch %d vs %d", x.NumDigits(), y.NumDigits())
 	}
-	n := x.NumDigits()
-	out := Int{Digits: make([]tfhe.LWECiphertext, n)}
-	var carry *tfhe.LWECiphertext
-	for i := 0; i < n; i++ {
-		// Linear part: digit sum plus incoming carry (range 0..2·Base-1,
-		// inside opSpace).
-		s := x.Digits[i].Copy()
-		s.AddTo(y.Digits[i])
-		if carry != nil {
-			s.AddTo(*carry)
-		}
-		// PBS 1: carry = s / Base; PBS 2: digit = s mod Base.
-		if i+1 < n {
-			c := e.Eval.EvalLUTKS(s, opSpace, func(v int) int { return v / Base })
-			carry = &c
-		}
-		out.Digits[i] = e.Eval.EvalLUTKS(s, opSpace, func(v int) int { return v % Base })
+	digits, err := e.binary(x, y, func(b *sched.Builder, xw, yw []sched.Wire) []sched.Wire {
+		return BuildAdd(b, xw, yw)
+	})
+	if err != nil {
+		return Int{}, err
 	}
-	return out, nil
+	return Int{Digits: digits}, nil
 }
 
 // AddScalar returns x + c mod Base^digits for a plaintext scalar.
@@ -95,23 +141,9 @@ func (e *Evaluator) AddScalar(x Int, c int) (Int, error) {
 	if c < 0 {
 		c = c%(MaxValue(n)+1) + MaxValue(n) + 1
 	}
-	out := Int{Digits: make([]tfhe.LWECiphertext, n)}
-	var carry *tfhe.LWECiphertext
-	for i := 0; i < n; i++ {
-		d := c % Base
-		c /= Base
-		s := x.Digits[i].Copy()
-		s.AddPlain(tfhe.EncodePBSMessage(d, opSpace) - tfhe.EncodePBSMessage(0, opSpace))
-		if carry != nil {
-			s.AddTo(*carry)
-		}
-		if i+1 < n {
-			cc := e.Eval.EvalLUTKS(s, opSpace, func(v int) int { return v / Base })
-			carry = &cc
-		}
-		out.Digits[i] = e.Eval.EvalLUTKS(s, opSpace, func(v int) int { return v % Base })
-	}
-	return out, nil
+	return e.unary(x, func(b *sched.Builder, xw []sched.Wire) []sched.Wire {
+		return BuildAddScalar(b, xw, c)
+	})
 }
 
 // MulScalar returns x·c mod Base^digits via double-and-add (c >= 0).
@@ -119,69 +151,67 @@ func (e *Evaluator) MulScalar(x Int, c int) (Int, error) {
 	if c < 0 {
 		return Int{}, fmt.Errorf("intops: negative scalar %d", c)
 	}
-	n := x.NumDigits()
-	// acc = 0.
-	acc := Int{Digits: make([]tfhe.LWECiphertext, n)}
-	for i := range acc.Digits {
-		acc.Digits[i] = tfhe.NewLWECiphertext(x.Digits[i].N())
-		acc.Digits[i].AddPlain(tfhe.EncodePBSMessage(0, opSpace))
+	return e.unary(x, func(b *sched.Builder, xw []sched.Wire) []sched.Wire {
+		return BuildMulScalar(b, xw, c)
+	})
+}
+
+// Mul returns the full encrypted product x·y mod Base^digits: packed
+// digit-pair partial products (all independent — the widest level any
+// intops circuit produces) reduced through a balanced adder tree.
+func (e *Evaluator) Mul(x, y Int) (Int, error) {
+	if x.NumDigits() != y.NumDigits() {
+		return Int{}, fmt.Errorf("intops: digit count mismatch %d vs %d", x.NumDigits(), y.NumDigits())
 	}
-	cur := x
-	var err error
-	for c > 0 {
-		if c&1 == 1 {
-			if acc, err = e.Add(acc, cur); err != nil {
-				return Int{}, err
-			}
-		}
-		c >>= 1
-		if c > 0 {
-			if cur, err = e.Add(cur, cur); err != nil {
-				return Int{}, err
-			}
-		}
+	digits, err := e.binary(x, y, func(b *sched.Builder, xw, yw []sched.Wire) []sched.Wire {
+		return BuildMul(b, xw, yw)
+	})
+	if err != nil {
+		return Int{}, err
 	}
-	return acc, nil
+	return Int{Digits: digits}, nil
 }
 
 // IsEqual returns an encryption of 1 if x == y, else 0 (in opSpace
 // encoding). Cost: one PBS per digit plus one final PBS.
 func (e *Evaluator) IsEqual(x, y Int) (tfhe.LWECiphertext, error) {
 	if x.NumDigits() != y.NumDigits() {
-		return tfhe.LWECiphertext{}, fmt.Errorf("intops: digit count mismatch")
+		return tfhe.LWECiphertext{}, fmt.Errorf("intops: digit count mismatch %d vs %d", x.NumDigits(), y.NumDigits())
 	}
-	if x.NumDigits() >= opSpace/2 {
+	if x.NumDigits() == 0 {
+		return tfhe.LWECiphertext{}, fmt.Errorf("intops: cannot compare zero-digit integers")
+	}
+	if x.NumDigits() >= opSpace {
 		return tfhe.LWECiphertext{}, fmt.Errorf("intops: too many digits (%d) for equality reduction", x.NumDigits())
 	}
-	// Sum of per-digit "is different" indicators.
-	var total *tfhe.LWECiphertext
-	for i := range x.Digits {
-		d := x.Digits[i].Copy()
-		d.SubTo(y.Digits[i])
-		// d encodes (xi - yi) mod opSpace: 0 iff equal.
-		ind := e.Eval.EvalLUTKS(d, opSpace, func(v int) int {
-			if v == 0 {
-				return 0
-			}
-			return 1
-		})
-		if total == nil {
-			total = &ind
-		} else {
-			total.AddTo(ind)
-		}
-	}
-	// total encodes the number of differing digits (< opSpace/2).
-	res := e.Eval.EvalLUTKS(*total, opSpace, func(v int) int {
-		if v == 0 {
-			return 1
-		}
-		return 0
+	outs, err := e.binary(x, y, func(b *sched.Builder, xw, yw []sched.Wire) []sched.Wire {
+		return []sched.Wire{BuildIsEqual(b, xw, yw)}
 	})
-	return res, nil
+	if err != nil {
+		return tfhe.LWECiphertext{}, err
+	}
+	return outs[0], nil
 }
 
-// DecryptBit decrypts a 0/1 indicator produced by IsEqual.
+// LessThan returns an encryption of 1 if x < y, else 0 (in opSpace
+// encoding). Cost: two PBS per digit (parallel trits + a combine chain).
+func (e *Evaluator) LessThan(x, y Int) (tfhe.LWECiphertext, error) {
+	if x.NumDigits() != y.NumDigits() {
+		return tfhe.LWECiphertext{}, fmt.Errorf("intops: digit count mismatch %d vs %d", x.NumDigits(), y.NumDigits())
+	}
+	if x.NumDigits() == 0 {
+		return tfhe.LWECiphertext{}, fmt.Errorf("intops: cannot compare zero-digit integers")
+	}
+	outs, err := e.binary(x, y, func(b *sched.Builder, xw, yw []sched.Wire) []sched.Wire {
+		return []sched.Wire{BuildLessThan(b, xw, yw)}
+	})
+	if err != nil {
+		return tfhe.LWECiphertext{}, err
+	}
+	return outs[0], nil
+}
+
+// DecryptBit decrypts a 0/1 indicator produced by IsEqual or LessThan.
 func DecryptBit(sk tfhe.SecretKeys, ct tfhe.LWECiphertext) int {
 	return tfhe.DecodePBSMessage(sk.LWE.Phase(ct), opSpace)
 }

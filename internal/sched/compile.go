@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Mode constrains the compile-time batch-vs-stream routing decision.
+type Mode uint8
+
+// The routing modes. Auto applies the cost model per dispatch; the forced
+// modes exist for benchmarking the two engines against each other and for
+// executors that only have one engine (the gate service streams
+// everything, so it compiles with StreamOnly).
+const (
+	Auto Mode = iota
+	BatchOnly
+	StreamOnly
+)
+
+// DefaultMinStream is the Auto-mode threshold of the cost model: a
+// dispatch of at least this many ciphertexts goes to the streaming
+// pipeline, a smaller one to the flat worker pool. The streaming engine
+// only wins once its fixed costs — filling and draining the staged
+// pipeline (≈ channel depth items of ramp) and encoding the shared test
+// vector — amortize over the stream, while the flat pool's per-item
+// claim overhead is near zero for short batches.
+const DefaultMinStream = 32
+
+// Config tunes compilation.
+type Config struct {
+	// Mode constrains batch-vs-stream routing. The zero value (Auto)
+	// applies the MinStream cost model per dispatch.
+	Mode Mode
+	// MinStream overrides the Auto-mode threshold. 0 means
+	// DefaultMinStream.
+	MinStream int
+}
+
+// DispatchKind discriminates what a dispatch executes.
+type DispatchKind uint8
+
+// The dispatch kinds: one boolean gate op batched pairwise, or one shared
+// lookup table batched over a ciphertext slice.
+const (
+	DispatchGate DispatchKind = iota
+	DispatchLUT
+)
+
+// Dispatch is one engine call of a level: every PBS node of the level
+// that shares this gate op (or this exact lookup table), batched
+// together. Nodes lists the node wires in build order.
+type Dispatch struct {
+	Kind   DispatchKind
+	Op     GateOp // DispatchGate
+	Space  int    // DispatchLUT
+	Table  []int  // DispatchLUT; shared by every node of the dispatch
+	Nodes  []Wire
+	Stream bool // cost-model routing: streaming pipeline vs worker pool
+}
+
+// Level is one dependency-free layer of the schedule: every dispatch (and
+// every node within each dispatch) depends only on earlier levels, so the
+// whole level could execute concurrently.
+type Level struct {
+	Dispatches []Dispatch
+	PBS        int // total PBS nodes in the level
+}
+
+// Stats summarizes a schedule's shape.
+type Stats struct {
+	Levels      int // PBS depth of the circuit
+	TotalPBS    int // total bootstraps per execution
+	MaxLevelPBS int // widest level
+	Dispatches  int // engine calls per execution
+	Streamed    int // dispatches routed to the streaming engine
+	LinearNodes int // free nodes folded in between levels
+}
+
+// Schedule is a compiled circuit: levelized dispatches plus the free
+// linear nodes to fold in at each level boundary.
+type Schedule struct {
+	levels []Level
+	// linAt[l] holds the linear nodes whose operands are complete after
+	// PBS level l (linAt[0] depends on inputs only), in build order.
+	linAt [][]Wire
+	stats Stats
+	// nodes is the node count of the compiled circuit, so Execute can
+	// reject a schedule paired with a different circuit.
+	nodes int
+}
+
+// Levels returns the levelized dispatches. The slice is shared, not
+// copied — treat it as read-only.
+func (s *Schedule) Levels() []Level { return s.levels }
+
+// Stats returns the schedule's shape summary.
+func (s *Schedule) Stats() Stats { return s.stats }
+
+// String renders a compact plan summary, e.g.
+// "7 levels, 37 PBS (max 16/level), 12 dispatches (3 streamed)".
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d levels, %d PBS (max %d/level), %d dispatches (%d streamed)",
+		s.stats.Levels, s.stats.TotalPBS, s.stats.MaxLevelPBS, s.stats.Dispatches, s.stats.Streamed)
+	return b.String()
+}
+
+// lutDispatchKey is the grouping key of a LUT node: dispatches merge only
+// when the whole table is identical, mirroring the gate service's
+// coalescing key.
+func lutDispatchKey(space int, table []int) string {
+	var b strings.Builder
+	b.WriteString("l:")
+	b.WriteString(strconv.Itoa(space))
+	for _, v := range table {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// Compile levelizes the circuit and groups each level into batched
+// dispatches. Each PBS node's level is its longest-path PBS depth from
+// the inputs (linear nodes are free and add no depth) — the maximal
+// independent sets the paper's scheduler dispatches as epochs. Within a
+// level, gates group by op and LUTs by exact table, since each engine
+// call shares one operation (and one test vector) across its batch.
+func Compile(c *Circuit, cfg Config) (*Schedule, error) {
+	minStream := cfg.MinStream
+	if minStream <= 0 {
+		minStream = DefaultMinStream
+	}
+
+	lvl := make([]int, len(c.nodes))
+	maxLvl := 0
+	for i, n := range c.nodes {
+		switch n.kind {
+		case kindInput:
+			lvl[i] = 0
+		case kindLin:
+			d := 0
+			for _, t := range n.terms {
+				if lvl[t.W] > d {
+					d = lvl[t.W]
+				}
+			}
+			lvl[i] = d
+		case kindGate:
+			d := lvl[n.a]
+			if lvl[n.b] > d {
+				d = lvl[n.b]
+			}
+			lvl[i] = d + 1
+		case kindLUT:
+			lvl[i] = lvl[n.in] + 1
+		default:
+			return nil, fmt.Errorf("sched: node %d has unknown kind %d", i, n.kind)
+		}
+		if lvl[i] > maxLvl {
+			maxLvl = lvl[i]
+		}
+	}
+
+	s := &Schedule{
+		levels: make([]Level, maxLvl),
+		linAt:  make([][]Wire, maxLvl+1),
+		nodes:  len(c.nodes),
+	}
+	// groupIdx[l] maps a dispatch key to its index in levels[l].Dispatches,
+	// so grouping preserves first-appearance (build) order.
+	groupIdx := make([]map[string]int, maxLvl)
+	for i, n := range c.nodes {
+		switch n.kind {
+		case kindLin:
+			s.linAt[lvl[i]] = append(s.linAt[lvl[i]], Wire(i))
+		case kindGate, kindLUT:
+			l := lvl[i] - 1
+			if groupIdx[l] == nil {
+				groupIdx[l] = make(map[string]int)
+			}
+			var key string
+			if n.kind == kindGate {
+				key = "g:" + n.op.String()
+			} else {
+				key = lutDispatchKey(n.space, n.table)
+			}
+			di, ok := groupIdx[l][key]
+			if !ok {
+				di = len(s.levels[l].Dispatches)
+				groupIdx[l][key] = di
+				d := Dispatch{Kind: DispatchGate, Op: n.op}
+				if n.kind == kindLUT {
+					d = Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}
+				}
+				s.levels[l].Dispatches = append(s.levels[l].Dispatches, d)
+			}
+			s.levels[l].Dispatches[di].Nodes = append(s.levels[l].Dispatches[di].Nodes, Wire(i))
+			s.levels[l].PBS++
+		}
+	}
+
+	// Cost model: route each dispatch.
+	for l := range s.levels {
+		for di := range s.levels[l].Dispatches {
+			d := &s.levels[l].Dispatches[di]
+			switch cfg.Mode {
+			case BatchOnly:
+				d.Stream = false
+			case StreamOnly:
+				d.Stream = true
+			default:
+				d.Stream = len(d.Nodes) >= minStream
+			}
+			s.stats.Dispatches++
+			if d.Stream {
+				s.stats.Streamed++
+			}
+		}
+		if s.levels[l].PBS > s.stats.MaxLevelPBS {
+			s.stats.MaxLevelPBS = s.levels[l].PBS
+		}
+		s.stats.TotalPBS += s.levels[l].PBS
+	}
+	s.stats.Levels = maxLvl
+	for _, lin := range s.linAt {
+		s.stats.LinearNodes += len(lin)
+	}
+	return s, nil
+}

@@ -1,0 +1,21 @@
+// Package sched compiles homomorphic circuits — dataflow graphs of boolean
+// gates, programmable-bootstrap lookup tables, and free linear
+// combinations — into levelized schedules that keep the batching engines
+// saturated.
+//
+// The sequential tfhe.Evaluator issues one PBS at a time; the engines of
+// internal/engine only help when someone hands them big independent
+// batches. This package is that someone: a Builder records the circuit as
+// a DAG, Compile levelizes it into maximal dependency-free levels
+// (longest-path depth over the PBS nodes, the epoch schedule of the
+// paper's accelerator), groups each level into per-gate-op and
+// per-lookup-table dispatches, and a cost model routes every dispatch to
+// either the flat worker-pool Engine or the staged StreamingEngine.
+// Execute then walks the schedule over any Executor — the in-process
+// Runner, or the gate service's group-commit session path.
+//
+// Every dispatch runs the exact per-item computation of the sequential
+// evaluator (the engines are bitwise-identical to it by construction), and
+// linear nodes are wrapping torus arithmetic, so scheduled execution is
+// bitwise-identical to RunSequential for any engine configuration.
+package sched

@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/tfhe"
+)
+
+// Executor runs one dispatch worth of PBS work. Implementations must
+// return exactly one output per input, in input order, computing the same
+// per-item operation as the sequential evaluator (both engines and the
+// gate service's session path qualify).
+type Executor interface {
+	// Gate evaluates out[i] = d.Op(a[i], b[i]).
+	Gate(d Dispatch, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
+	// LUT applies d.Table (message space d.Space) to every ciphertext.
+	LUT(d Dispatch, in []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
+}
+
+// evalLin computes one linear node over the resolved wire values. dim is
+// the circuit's LWE dimension fallback for constant (term-less) nodes,
+// negative when unknown.
+func evalLin(n node, vals []tfhe.LWECiphertext, dim int) (tfhe.LWECiphertext, error) {
+	d := dim
+	if len(n.terms) > 0 {
+		d = vals[n.terms[0].W].N()
+	}
+	if d < 0 {
+		return tfhe.LWECiphertext{}, fmt.Errorf("sched: constant node in a circuit with no inputs (LWE dimension unknown)")
+	}
+	out := tfhe.NewLWECiphertext(d)
+	out.AddPlain(n.k)
+	for _, t := range n.terms {
+		v := vals[t.W]
+		switch t.C {
+		case 0:
+		case 1:
+			out.AddTo(v)
+		case -1:
+			out.SubTo(v)
+		default:
+			tmp := v.Copy()
+			tmp.MulScalar(t.C)
+			out.AddTo(tmp)
+		}
+	}
+	return out, nil
+}
+
+// runLins folds the linear nodes of one level boundary into vals.
+func runLins(c *Circuit, lins []Wire, vals []tfhe.LWECiphertext, dim int) error {
+	for _, w := range lins {
+		v, err := evalLin(c.nodes[w], vals, dim)
+		if err != nil {
+			return err
+		}
+		vals[w] = v
+	}
+	return nil
+}
+
+// Execute runs a compiled schedule over the inputs, dispatching every
+// level batch through ex and folding the free linear nodes in between.
+// Outputs are returned in Output declaration order. Output ciphertexts
+// are fresh except when an output wire is itself an input wire.
+func Execute(c *Circuit, s *Schedule, inputs []tfhe.LWECiphertext, ex Executor) ([]tfhe.LWECiphertext, error) {
+	if s.nodes != len(c.nodes) {
+		return nil, fmt.Errorf("sched: schedule was compiled from a %d-node circuit, got %d nodes", s.nodes, len(c.nodes))
+	}
+	if len(inputs) != len(c.inputs) {
+		return nil, fmt.Errorf("sched: circuit has %d inputs, got %d", len(c.inputs), len(inputs))
+	}
+	vals := make([]tfhe.LWECiphertext, len(c.nodes))
+	dim := -1
+	for k, w := range c.inputs {
+		vals[w] = inputs[k]
+		dim = inputs[k].N()
+	}
+	if err := runLins(c, s.linAt[0], vals, dim); err != nil {
+		return nil, err
+	}
+	for l := range s.levels {
+		for _, d := range s.levels[l].Dispatches {
+			var out []tfhe.LWECiphertext
+			var err error
+			switch d.Kind {
+			case DispatchGate:
+				a := make([]tfhe.LWECiphertext, len(d.Nodes))
+				b := make([]tfhe.LWECiphertext, len(d.Nodes))
+				for j, w := range d.Nodes {
+					a[j] = vals[c.nodes[w].a]
+					b[j] = vals[c.nodes[w].b]
+				}
+				out, err = ex.Gate(d, a, b)
+			case DispatchLUT:
+				in := make([]tfhe.LWECiphertext, len(d.Nodes))
+				for j, w := range d.Nodes {
+					in[j] = vals[c.nodes[w].in]
+				}
+				out, err = ex.LUT(d, in)
+			default:
+				err = fmt.Errorf("sched: unknown dispatch kind %d", d.Kind)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if len(out) != len(d.Nodes) {
+				return nil, fmt.Errorf("sched: executor returned %d outputs for %d items", len(out), len(d.Nodes))
+			}
+			for j, w := range d.Nodes {
+				vals[w] = out[j]
+			}
+		}
+		if err := runLins(c, s.linAt[l+1], vals, dim); err != nil {
+			return nil, err
+		}
+	}
+	outs := make([]tfhe.LWECiphertext, len(c.outputs))
+	for k, w := range c.outputs {
+		outs[k] = vals[w]
+	}
+	return outs, nil
+}
+
+// seqGate dispatches one gate on the sequential evaluator.
+func seqGate(ev *tfhe.Evaluator, op engine.GateOp, a, b tfhe.LWECiphertext) (tfhe.LWECiphertext, error) {
+	switch op {
+	case engine.NAND:
+		return ev.NAND(a, b), nil
+	case engine.AND:
+		return ev.AND(a, b), nil
+	case engine.OR:
+		return ev.OR(a, b), nil
+	case engine.NOR:
+		return ev.NOR(a, b), nil
+	case engine.XOR:
+		return ev.XOR(a, b), nil
+	case engine.XNOR:
+		return ev.XNOR(a, b), nil
+	default:
+		return tfhe.LWECiphertext{}, fmt.Errorf("sched: unknown sequential gate %d", int(op))
+	}
+}
+
+// RunSequential evaluates the circuit node by node on one evaluator — the
+// unscheduled reference path every schedule must match bitwise, and the
+// backend of choice when no engine is available.
+func RunSequential(c *Circuit, ev *tfhe.Evaluator, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	if len(inputs) != len(c.inputs) {
+		return nil, fmt.Errorf("sched: circuit has %d inputs, got %d", len(c.inputs), len(inputs))
+	}
+	vals := make([]tfhe.LWECiphertext, len(c.nodes))
+	dim := -1
+	for k, w := range c.inputs {
+		vals[w] = inputs[k]
+		dim = inputs[k].N()
+	}
+	for i, n := range c.nodes {
+		switch n.kind {
+		case kindInput:
+			// already assigned
+		case kindLin:
+			v, err := evalLin(n, vals, dim)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		case kindGate:
+			v, err := seqGate(ev, n.op, vals[n.a], vals[n.b])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		case kindLUT:
+			table := n.table
+			vals[i] = ev.EvalLUTKS(vals[n.in], n.space, func(m int) int { return table[m] })
+		default:
+			return nil, fmt.Errorf("sched: node %d has unknown kind %d", i, n.kind)
+		}
+	}
+	outs := make([]tfhe.LWECiphertext, len(c.outputs))
+	for k, w := range c.outputs {
+		outs[k] = vals[w]
+	}
+	return outs, nil
+}
+
+// Runner executes schedules over the in-process engines, honoring each
+// dispatch's cost-model routing. Either engine may be nil: dispatches
+// fall back to whichever engine exists.
+type Runner struct {
+	// Batch is the flat worker-pool engine (short dispatches).
+	Batch *engine.Engine
+	// Stream is the staged pipeline engine (long dispatches).
+	Stream *engine.StreamingEngine
+}
+
+// useStream resolves a dispatch's routing against the available engines.
+func (r *Runner) useStream(d Dispatch) (bool, error) {
+	if r.Stream == nil && r.Batch == nil {
+		return false, fmt.Errorf("sched: runner has no engine")
+	}
+	if r.Stream == nil {
+		return false, nil
+	}
+	if r.Batch == nil {
+		return true, nil
+	}
+	return d.Stream, nil
+}
+
+// Gate implements Executor over the engines.
+func (r *Runner) Gate(d Dispatch, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	stream, err := r.useStream(d)
+	if err != nil {
+		return nil, err
+	}
+	if stream {
+		return r.Stream.StreamGate(d.Op, a, b)
+	}
+	return r.Batch.BatchGate(d.Op, a, b)
+}
+
+// LUT implements Executor over the engines.
+func (r *Runner) LUT(d Dispatch, in []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	stream, err := r.useStream(d)
+	if err != nil {
+		return nil, err
+	}
+	table := d.Table
+	f := func(m int) int { return table[m] }
+	if stream {
+		return r.Stream.StreamLUT(in, d.Space, f), nil
+	}
+	return r.Batch.BatchEvalLUT(in, d.Space, f), nil
+}
+
+// Run compiles the circuit under cfg and executes it — the one-call path
+// for callers that don't reuse schedules.
+func (r *Runner) Run(c *Circuit, cfg Config, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	s, err := Compile(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(c, s, inputs, r)
+}
+
+// RunSchedule executes an already-compiled schedule.
+func (r *Runner) RunSchedule(c *Circuit, s *Schedule, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return Execute(c, s, inputs, r)
+}

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/torus"
+)
+
+// The NodeSpec kind strings.
+const (
+	SpecInput = "in"
+	SpecLin   = "lin"
+	SpecGate  = "gate"
+	SpecLUT   = "lut"
+)
+
+// NodeSpec is the serializable form of one circuit node: what the gate
+// service's circuit-batch endpoint accepts on the wire. Wire references
+// are node indices and must point at earlier nodes, which makes cycles
+// unrepresentable; FromSpecs re-validates everything, so specs can come
+// from untrusted peers.
+type NodeSpec struct {
+	Kind string `json:"kind"`
+
+	// SpecLin
+	K     uint32 `json:"k,omitempty"` // torus constant, raw bits
+	Terms []Term `json:"terms,omitempty"`
+
+	// SpecGate
+	Op string `json:"op,omitempty"` // gate mnemonic, e.g. "NAND"
+	A  int    `json:"a,omitempty"`
+	B  int    `json:"b,omitempty"`
+
+	// SpecLUT
+	In    int   `json:"in,omitempty"`
+	Space int   `json:"space,omitempty"`
+	Table []int `json:"table,omitempty"`
+}
+
+// Specs serializes the circuit's nodes. Together with OutputWires it
+// round-trips through FromSpecs.
+func (c *Circuit) Specs() []NodeSpec {
+	specs := make([]NodeSpec, len(c.nodes))
+	for i, n := range c.nodes {
+		switch n.kind {
+		case kindInput:
+			specs[i] = NodeSpec{Kind: SpecInput}
+		case kindLin:
+			specs[i] = NodeSpec{Kind: SpecLin, K: uint32(n.k), Terms: n.terms}
+		case kindGate:
+			specs[i] = NodeSpec{Kind: SpecGate, Op: n.op.String(), A: int(n.a), B: int(n.b)}
+		case kindLUT:
+			specs[i] = NodeSpec{Kind: SpecLUT, In: int(n.in), Space: n.space, Table: n.table}
+		}
+	}
+	return specs
+}
+
+// OutputWires returns the output wire indices, in declaration order.
+func (c *Circuit) OutputWires() []int {
+	outs := make([]int, len(c.outputs))
+	for i, w := range c.outputs {
+		outs[i] = int(w)
+	}
+	return outs
+}
+
+// FromSpecs rebuilds a circuit from serialized nodes and output indices,
+// validating every reference, op, and table through the Builder.
+func FromSpecs(specs []NodeSpec, outputs []int) (*Circuit, error) {
+	b := NewBuilder()
+	for i, s := range specs {
+		switch s.Kind {
+		case SpecInput:
+			b.Input()
+		case SpecLin:
+			b.Lin(torus.Torus32(s.K), s.Terms...)
+		case SpecGate:
+			op, err := engine.ParseGate(s.Op)
+			if err != nil {
+				return nil, fmt.Errorf("sched: node %d: %w", i, err)
+			}
+			b.Gate(op, Wire(s.A), Wire(s.B))
+		case SpecLUT:
+			b.LUT(Wire(s.In), s.Space, s.Table)
+		default:
+			return nil, fmt.Errorf("sched: node %d has unknown kind %q", i, s.Kind)
+		}
+	}
+	for _, o := range outputs {
+		b.Output(Wire(o))
+	}
+	return b.Build()
+}

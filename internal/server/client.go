@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 	"repro/internal/wire"
 )
@@ -87,6 +88,24 @@ func (c *Client) GateBatch(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.
 	}
 	var resp BatchResponse
 	if err := c.post("/v1/gate-batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return decodeCiphertexts(resp.Out, "out")
+}
+
+// CircuitBatch runs a built circuit on the server: the DAG ships as
+// serialized node specs, the server levelizes it and coalesces every
+// level dispatch with concurrent session traffic. Outputs return in the
+// circuit's Output declaration order.
+func (c *Client) CircuitBatch(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	req := CircuitBatchRequest{
+		ClientID: c.id,
+		Nodes:    circ.Specs(),
+		Outputs:  circ.OutputWires(),
+		Inputs:   encodeCiphertexts(inputs),
+	}
+	var resp BatchResponse
+	if err := c.post("/v1/circuit-batch", req, &resp); err != nil {
 		return nil, err
 	}
 	return decodeCiphertexts(resp.Out, "out")

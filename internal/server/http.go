@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 	"repro/internal/wire"
 )
@@ -62,7 +63,18 @@ type LUTBatchRequest struct {
 	Cts      [][]byte `json:"cts"`   // wire-encoded LWE ciphertexts
 }
 
-// BatchResponse carries the result ciphertexts of a gate or LUT batch.
+// CircuitBatchRequest frames POST /v1/circuit-batch: a serialized sched
+// circuit plus its input ciphertexts. Node references are indices into
+// the nodes list; outputs select the wires to return.
+type CircuitBatchRequest struct {
+	ClientID string           `json:"client_id"`
+	Nodes    []sched.NodeSpec `json:"nodes"`
+	Outputs  []int            `json:"outputs"`
+	Inputs   [][]byte         `json:"inputs"` // wire-encoded LWE ciphertexts
+}
+
+// BatchResponse carries the result ciphertexts of a gate, LUT, or
+// circuit batch.
 type BatchResponse struct {
 	Out [][]byte `json:"out"` // wire-encoded LWE ciphertexts, input order
 }
@@ -74,15 +86,17 @@ type ErrorResponse struct {
 
 // Handler returns the HTTP API of the service:
 //
-//	POST /v1/register-key   RegisterKeyRequest  → RegisterKeyResponse
-//	POST /v1/gate-batch     GateBatchRequest    → BatchResponse
-//	POST /v1/lut-batch      LUTBatchRequest     → BatchResponse
-//	GET  /v1/stats                              → Stats
+//	POST /v1/register-key   RegisterKeyRequest   → RegisterKeyResponse
+//	POST /v1/gate-batch     GateBatchRequest     → BatchResponse
+//	POST /v1/lut-batch      LUTBatchRequest      → BatchResponse
+//	POST /v1/circuit-batch  CircuitBatchRequest  → BatchResponse
+//	GET  /v1/stats                               → Stats
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register-key", s.handleRegisterKey)
 	mux.HandleFunc("POST /v1/gate-batch", s.handleGateBatch)
 	mux.HandleFunc("POST /v1/lut-batch", s.handleLUTBatch)
+	mux.HandleFunc("POST /v1/circuit-batch", s.handleCircuitBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -202,6 +216,27 @@ func (s *Server) handleLUTBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out, err := s.LUTBatch(req.ClientID, cts, req.Space, req.Table)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+}
+
+// handleCircuitBatch decodes, schedules, executes, and re-encodes one
+// circuit batch.
+func (s *Server) handleCircuitBatch(w http.ResponseWriter, r *http.Request) {
+	var req CircuitBatchRequest
+	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
+		writeError(w, fmt.Errorf("server: bad circuit-batch request: %w", err))
+		return
+	}
+	inputs, err := decodeCiphertexts(req.Inputs, "inputs")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.CircuitBatch(req.ClientID, req.Nodes, req.Outputs, inputs)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -11,6 +12,9 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/intops"
+	"repro/internal/sched"
+	"repro/internal/tfhe"
 )
 
 // TestHTTPEndToEnd is the acceptance path of the service layer: a client
@@ -196,5 +200,50 @@ func TestHTTPErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
 		}
+	}
+}
+
+// TestHTTPCircuitBatch runs a whole intops addition DAG through the HTTP
+// circuit endpoint and pins it to the sequential evaluator.
+func TestHTTPCircuitBatch(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := Dial(ts.URL, "carol")
+	if err := client.RegisterKey(ek); err != nil {
+		t.Fatal(err)
+	}
+
+	const digits = 3
+	circ, err := intops.AddCircuit(digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(81))
+	x, _ := intops.Encrypt(rng, sk, 27, digits)
+	y, _ := intops.Encrypt(rng, sk, 45, digits)
+	inputs := append(append([]tfhe.LWECiphertext{}, x.Digits...), y.Digits...)
+
+	got, err := client.CircuitBatch(circ, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.RunSequential(circ, tfhe.NewEvaluator(ek), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("HTTP circuit outputs differ from sequential evaluation")
+	}
+	if dec := intops.Decrypt(sk, intops.Int{Digits: got}); dec != (27+45)%64 {
+		t.Errorf("decrypted sum = %d, want %d", dec, (27+45)%64)
+	}
+
+	// Malformed circuit over HTTP surfaces as a 400-class error.
+	if _, err := client.CircuitBatch(circ, inputs[:2]); err == nil {
+		t.Error("input count mismatch accepted over HTTP")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 )
 
@@ -26,6 +27,9 @@ type Config struct {
 	// MaxCoalesce caps how many ciphertexts are merged into one engine
 	// stream. 0 means 8192.
 	MaxCoalesce int
+	// MaxCircuitNodes caps the node count of a circuit-batch request.
+	// 0 means 4096.
+	MaxCircuitNodes int
 	// Stream configures each session's streaming engine stage widths.
 	Stream engine.StreamConfig
 }
@@ -43,6 +47,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCoalesce <= 0 {
 		c.MaxCoalesce = 8192
+	}
+	if c.MaxCircuitNodes <= 0 {
+		c.MaxCircuitNodes = 4096
 	}
 	return c
 }
@@ -184,6 +191,48 @@ func (s *Server) LUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, 
 // the whole table is identical.
 func lutKey(space int, table []int) string {
 	return fmt.Sprintf("l:%d:%v", space, table)
+}
+
+// CircuitBatch compiles a levelized schedule for the circuit described by
+// specs/outputs and executes it on clientID's session. Every level
+// dispatch (one gate op, or one exact lookup table, across the whole
+// level) goes through the session's group-commit path, so concurrent
+// circuits — and plain gate/LUT batches — coalesce into shared engine
+// streams whenever their dispatch keys match.
+func (s *Server) CircuitBatch(clientID string, specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	sess, err := s.session(clientID)
+	if err != nil {
+		return nil, err
+	}
+	circ, schedule, err := sess.validateCircuit(specs, outputs, inputs, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Execute(circ, schedule, inputs, sessionExecutor{sess})
+}
+
+// sessionExecutor dispatches schedule levels through the session's
+// coalescing submit path. Dispatch keys match GateBatch/LUTBatch keys, so
+// circuit levels and standalone batches share streams.
+type sessionExecutor struct {
+	sess *session
+}
+
+// Gate implements sched.Executor over the session.
+func (x sessionExecutor) Gate(d sched.Dispatch, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	eng := x.sess.eng
+	return x.sess.submit("g:"+d.Op.String(), a, b, func(ga, gb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+		return eng.StreamGate(d.Op, ga, gb)
+	})
+}
+
+// LUT implements sched.Executor over the session.
+func (x sessionExecutor) LUT(d sched.Dispatch, in []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	eng := x.sess.eng
+	table := d.Table
+	return x.sess.submit(lutKey(d.Space, d.Table), in, nil, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+		return eng.StreamLUT(ga, d.Space, func(m int) int { return table[m] }), nil
+	})
 }
 
 // SessionStats is one session's metrics snapshot.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 )
 
@@ -214,6 +215,56 @@ func (s *session) validateLUT(cts []tfhe.LWECiphertext, space int, table []int, 
 		return fail(err)
 	}
 	return nil
+}
+
+// validateCircuit rejects malformed circuit-batch requests and compiles
+// the accepted ones. The circuit is rebuilt through the sched builder (so
+// references, ops, and tables are fully validated against untrusted
+// input), then each compiled dispatch is bounded like a standalone batch.
+// StreamOnly routing matches what the executor actually does: a session
+// only has a streaming engine, and coalescing happens per dispatch key.
+func (s *session) validateCircuit(specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext, cfg Config) (*sched.Circuit, *sched.Schedule, error) {
+	fail := func(err error) (*sched.Circuit, *sched.Schedule, error) {
+		s.rejected.Add(1)
+		return nil, nil, err
+	}
+	if len(specs) > cfg.MaxCircuitNodes {
+		return fail(fmt.Errorf("%w: %d nodes > %d", ErrBatchTooLarge, len(specs), cfg.MaxCircuitNodes))
+	}
+	// Outputs amplify the response (each entry re-encodes a ciphertext),
+	// so they are bounded like nodes — otherwise a tiny circuit listing
+	// one wire millions of times would balloon server memory.
+	if len(outputs) > cfg.MaxCircuitNodes {
+		return fail(fmt.Errorf("%w: %d outputs > %d", ErrBatchTooLarge, len(outputs), cfg.MaxCircuitNodes))
+	}
+	if len(inputs) > cfg.MaxBatch {
+		return fail(fmt.Errorf("%w: %d inputs > %d", ErrBatchTooLarge, len(inputs), cfg.MaxBatch))
+	}
+	circ, err := sched.FromSpecs(specs, outputs)
+	if err != nil {
+		return fail(fmt.Errorf("server: bad circuit: %w", err))
+	}
+	if circ.NumInputs() != len(inputs) {
+		return fail(fmt.Errorf("server: circuit has %d inputs, request carries %d", circ.NumInputs(), len(inputs)))
+	}
+	if err := s.checkDims(inputs); err != nil {
+		return fail(err)
+	}
+	schedule, err := sched.Compile(circ, sched.Config{Mode: sched.StreamOnly})
+	if err != nil {
+		return fail(fmt.Errorf("server: bad circuit: %w", err))
+	}
+	for _, lvl := range schedule.Levels() {
+		for _, d := range lvl.Dispatches {
+			if len(d.Nodes) > cfg.MaxBatch {
+				return fail(fmt.Errorf("%w: level dispatch of %d > %d", ErrBatchTooLarge, len(d.Nodes), cfg.MaxBatch))
+			}
+			if d.Kind == sched.DispatchLUT && d.Space > s.params.N {
+				return fail(fmt.Errorf("server: LUT space %d out of range [2, %d]", d.Space, s.params.N))
+			}
+		}
+	}
+	return circ, schedule, nil
 }
 
 // checkDims verifies every ciphertext has the session's LWE dimension.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 	"repro/internal/torus"
 )
@@ -55,30 +57,38 @@ func NewGateWorkload(rng *rand.Rand, count int) GateWorkload {
 	return g
 }
 
-// Execute runs the gate workload functionally with the evaluator over the
-// two encrypted operands, returning the final ciphertext (each gate feeds
-// one operand of the next — a dependency chain).
-func (g GateWorkload) Execute(ev *tfhe.Evaluator, a, b tfhe.LWECiphertext) tfhe.LWECiphertext {
-	cur := a
+// Circuit emits the workload as a sched DAG: two inputs, each gate
+// feeding one operand of the next — a pure dependency chain, the
+// worst-case shape for a levelizing scheduler (every level has width 1).
+func (g GateWorkload) Circuit() (*sched.Circuit, error) {
+	b := sched.NewBuilder()
+	cur, operand := b.Input(), b.Input()
 	for _, kind := range g.Gates {
-		switch kind {
-		case "NAND":
-			cur = ev.NAND(cur, b)
-		case "AND":
-			cur = ev.AND(cur, b)
-		case "OR":
-			cur = ev.OR(cur, b)
-		case "XOR":
-			cur = ev.XOR(cur, b)
-		case "NOR":
-			cur = ev.NOR(cur, b)
-		case "XNOR":
-			cur = ev.XNOR(cur, b)
-		default:
-			panic("workload: unknown gate " + kind)
+		op, err := engine.ParseGate(kind)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
 		}
+		cur = b.Gate(op, cur, operand)
 	}
-	return cur
+	b.Output(cur)
+	return b.Build()
+}
+
+// Execute runs the gate workload functionally with the evaluator over the
+// two encrypted operands, returning the final ciphertext. It emits the
+// Circuit DAG and walks it sequentially — the same graph the scheduler
+// levelizes. Unknown gate names panic, as they indicate a corrupted
+// workload.
+func (g GateWorkload) Execute(ev *tfhe.Evaluator, a, b tfhe.LWECiphertext) tfhe.LWECiphertext {
+	c, err := g.Circuit()
+	if err != nil {
+		panic(err.Error())
+	}
+	out, err := sched.RunSequential(c, ev, []tfhe.LWECiphertext{a, b})
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return out[0]
 }
 
 // ReLUTestVectorValue is the torus encoding of a ReLU lookup used by the

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// The functional mini-NN encoding: activations are small digits in
+// {0..NNDigitMax} inside the NNSpace PBS message space, so a fan-in-2
+// linear combination plus bias never leaves the padding-bit range.
+const (
+	// NNSpace is the PBS message space of the mini-NN activation LUT.
+	NNSpace = 16
+	// NNDigitMax is the largest activation value (sums stay < NNSpace).
+	NNDigitMax = 3
+)
+
+// NNActivation is the activation table of the functional mini-NN: a
+// shifted, clamped ReLU mapping any message in {0..NNSpace-1} back into
+// {0..NNDigitMax}, so layer outputs compose.
+func NNActivation(v int) int {
+	v -= 2
+	if v < 0 {
+		v = 0
+	}
+	if v > NNDigitMax {
+		v = NNDigitMax
+	}
+	return v
+}
+
+// MiniLayers scales the model's Fig-7 layer widths down by scale for
+// functional testing: width = max(1, LayerPBS/scale). The layer/PBS
+// shape (one wide conv layer, uniform dense layers) survives scaling.
+func (nn DeepNN) MiniLayers(scale int) []int {
+	if scale < 1 {
+		scale = 1
+	}
+	layers := nn.LayerPBS()
+	for i, pbs := range layers {
+		w := pbs / scale
+		if w < 1 {
+			w = 1
+		}
+		layers[i] = w
+	}
+	return layers
+}
+
+// BuildNN appends a functional scaled-down deep-NN circuit: each layer
+// maps the previous activations through `width` neurons, every neuron a
+// free fan-in-2 linear combination followed by one PBS activation —
+// exactly the linear-layer + PBS-ReLU structure of the Zama deep-NN
+// workload, at a width the functional library can execute. All neurons
+// of a layer are independent, so each layer is one scheduler level.
+// Inputs must carry NNSpace-encoded messages in {0..NNDigitMax}.
+func BuildNN(b *sched.Builder, inputs []sched.Wire, layers []int) ([]sched.Wire, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("workload: BuildNN needs at least one input")
+	}
+	prev := inputs
+	for li, width := range layers {
+		if width < 1 {
+			return nil, fmt.Errorf("workload: layer %d has width %d", li, width)
+		}
+		cur := make([]sched.Wire, width)
+		for k := range cur {
+			a := prev[k%len(prev)]
+			c := prev[(k+1)%len(prev)]
+			s := b.Lin(0, sched.Term{W: a, C: 1}, sched.Term{W: c, C: 1})
+			cur[k] = b.LUTFunc(s, NNSpace, NNActivation)
+		}
+		prev = cur
+	}
+	return prev, nil
+}
+
+// NNReference computes the plaintext outputs of BuildNN's circuit — the
+// golden model the encrypted evaluation must match.
+func NNReference(inputs []int, layers []int) []int {
+	prev := inputs
+	for _, width := range layers {
+		cur := make([]int, width)
+		for k := range cur {
+			cur[k] = NNActivation(prev[k%len(prev)] + prev[(k+1)%len(prev)])
+		}
+		prev = cur
+	}
+	return prev
+}

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/tfhe"
 )
 
@@ -125,6 +127,150 @@ func TestGateWorkloadExecutes(t *testing.T) {
 	}
 	if ev.Counters.PBSCount != 4 {
 		t.Errorf("expected 4 bootstraps, got %d", ev.Counters.PBSCount)
+	}
+}
+
+// sameCT compares two ciphertexts bitwise.
+func sameCT(a, b tfhe.LWECiphertext) bool {
+	if a.N() != b.N() || a.B != b.B {
+		return false
+	}
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGateWorkloadCircuitMatchesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	g := NewGateWorkload(rng, 5)
+	a := sk.EncryptBool(rng, true)
+	b := sk.EncryptBool(rng, false)
+
+	want := g.Execute(tfhe.NewEvaluator(ek), a, b)
+
+	c, err := g.Circuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 {
+		t.Fatalf("circuit shape: %d inputs, %d outputs", c.NumInputs(), c.NumOutputs())
+	}
+	r := &sched.Runner{
+		Batch:  engine.New(ek, engine.Config{Workers: 2}),
+		Stream: engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: 2}),
+	}
+	got, err := r.Run(c, sched.Config{}, []tfhe.LWECiphertext{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCT(got[0], want) {
+		t.Error("scheduled gate chain differs from sequential execution")
+	}
+	// A chain schedule has one gate per level — the levelizer must not
+	// merge dependent gates.
+	sch, err := sched.Compile(c, sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sch.Stats(); st.Levels != 5 || st.MaxLevelPBS != 1 {
+		t.Errorf("chain schedule = %+v, want 5 levels of width 1", st)
+	}
+}
+
+func TestBuildNNAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	nn, err := NewDeepNN(3, tfhe.ParamsII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := nn.MiniLayers(200) // [4, 1, 1]
+	if layers[0] < 2 {
+		t.Fatalf("mini conv layer too narrow: %v", layers)
+	}
+
+	in := []int{1, 3, 0, 2}
+	b := sched.NewBuilder()
+	ws := b.Inputs(len(in))
+	outs, err := BuildNN(b, ws, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Output(outs...)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cts := make([]tfhe.LWECiphertext, len(in))
+	for i, m := range in {
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(m, NNSpace), tfhe.ParamsTest.LWEStdDev)
+	}
+
+	want := NNReference(in, layers)
+	seq, err := sched.RunSequential(c, tfhe.NewEvaluator(ek), cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &sched.Runner{Batch: engine.New(ek, engine.Config{Workers: 2})}
+	got, err := r.Run(c, sched.Config{Mode: sched.BatchOnly}, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(got), len(want))
+	}
+	for k := range got {
+		if !sameCT(got[k], seq[k]) {
+			t.Errorf("output %d: scheduled differs from sequential", k)
+		}
+		if dec := tfhe.DecodePBSMessage(sk.LWE.Phase(got[k]), NNSpace); dec != want[k] {
+			t.Errorf("output %d decrypts to %d, want %d", k, dec, want[k])
+		}
+	}
+	// Each layer is one level; every neuron of a layer shares the
+	// activation table, so each level is a single dispatch.
+	sch, err := sched.Compile(c, sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sch.Stats()
+	if st.Levels != len(layers) || st.Dispatches != len(layers) {
+		t.Errorf("NN schedule = %+v, want %d levels with 1 dispatch each", st, len(layers))
+	}
+}
+
+func TestBuildNNValidation(t *testing.T) {
+	b := sched.NewBuilder()
+	if _, err := BuildNN(b, nil, []int{2}); err == nil {
+		t.Error("no inputs should error")
+	}
+	b2 := sched.NewBuilder()
+	if _, err := BuildNN(b2, b2.Inputs(2), []int{0}); err == nil {
+		t.Error("zero-width layer should error")
+	}
+}
+
+func TestMiniLayers(t *testing.T) {
+	nn, err := NewDeepNN(20, tfhe.ParamsII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := nn.MiniLayers(100)
+	if len(layers) != 20 {
+		t.Fatalf("mini layers count %d", len(layers))
+	}
+	if layers[0] != 8 { // 840/100
+		t.Errorf("mini conv width = %d, want 8", layers[0])
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i] != 1 { // 92/100 clamps to 1
+			t.Errorf("mini dense width[%d] = %d, want 1", i, layers[i])
+		}
 	}
 }
 

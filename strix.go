@@ -28,6 +28,18 @@
 // Worker count defaults to runtime.NumCPU(); use NewEngine for control
 // over pool size and chunking, and Engine().Counters() for the aggregate
 // operation mix.
+//
+// Whole computations — not just hand-built batches — reach the engines
+// through the circuit scheduler: build a DAG of gates, lookup tables, and
+// free linear combinations with NewCircuitBuilder, then Compile levelizes
+// it into maximal independent batches and RunCircuit dispatches each
+// level to the batch or streaming engine by a cost model:
+//
+//	b := strix.NewCircuitBuilder()
+//	x, y := b.Input(), b.Input()
+//	b.Output(b.Gate(strix.XOR, x, y))
+//	circ, _ := b.Build()
+//	outs, _ := ctx.RunCircuit(circ, []tfhe.LWECiphertext{a, c})
 package strix
 
 import (
@@ -40,6 +52,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/tfhe"
 )
@@ -200,6 +213,54 @@ func (c *FHEContext) BatchGate(op GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWE
 // on the default engine, one output per gate.
 func (c *FHEContext) EvalCircuit(inputs []tfhe.LWECiphertext, gates []Gate) ([]tfhe.LWECiphertext, error) {
 	return c.Engine().EvalCircuit(inputs, gates)
+}
+
+// Circuit is a gate/LUT dataflow graph built with a CircuitBuilder; the
+// scheduler levelizes it into engine batches (see Compile, RunCircuit).
+type Circuit = sched.Circuit
+
+// CircuitBuilder records a circuit node by node: inputs, free linear
+// combinations, boolean gates, and PBS lookup tables.
+type CircuitBuilder = sched.Builder
+
+// Schedule is a compiled circuit: maximal dependency-free levels, each
+// grouped into per-op / per-table dispatches with batch-vs-stream routing.
+type Schedule = sched.Schedule
+
+// ScheduleConfig tunes circuit compilation: the batch-vs-stream cost
+// model threshold, or a forced routing mode.
+type ScheduleConfig = sched.Config
+
+// CircuitRunner executes schedules over a batch engine and a streaming
+// engine, honoring each dispatch's cost-model routing.
+type CircuitRunner = sched.Runner
+
+// NewCircuitBuilder returns an empty circuit builder.
+func NewCircuitBuilder() *CircuitBuilder { return sched.NewBuilder() }
+
+// Compile levelizes a circuit into a schedule of engine dispatches.
+func (c *FHEContext) Compile(circ *Circuit, cfg ScheduleConfig) (*Schedule, error) {
+	return sched.Compile(circ, cfg)
+}
+
+// Runner returns a circuit runner over the context's default engines
+// (building them on first use): short dispatches go to the flat batch
+// pool, long ones to the streaming pipeline.
+func (c *FHEContext) Runner() *CircuitRunner {
+	return &sched.Runner{Batch: c.Engine(), Stream: c.StreamEngine()}
+}
+
+// RunCircuit compiles the circuit with the default cost model and
+// executes it level by level on the default engines. Results are bitwise
+// identical to evaluating the circuit node by node with Eval.
+func (c *FHEContext) RunCircuit(circ *Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return c.Runner().Run(circ, ScheduleConfig{}, inputs)
+}
+
+// RunSchedule executes an already-compiled schedule on the default
+// engines — the path for callers that run one circuit many times.
+func (c *FHEContext) RunSchedule(circ *Circuit, s *Schedule, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return c.Runner().RunSchedule(circ, s, inputs)
 }
 
 // ServiceConfig tunes the networked gate service (session bounds,

@@ -188,3 +188,68 @@ func TestRunExperimentFacade(t *testing.T) {
 		t.Error("bogus experiment should error")
 	}
 }
+
+// TestFHEContextRunCircuit is the facade-level scheduler acceptance: a
+// full-adder circuit built with the public CircuitBuilder runs levelized
+// on the default engines and matches both the truth table and the
+// node-by-node sequential evaluation bitwise.
+func TestFHEContextRunCircuit(t *testing.T) {
+	ctx, err := NewFHEContext("test", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-bit full adder: sum = a⊕b⊕cin, carry = maj(a,b,cin).
+	build := func() *Circuit {
+		b := NewCircuitBuilder()
+		a, bb, cin := b.Input(), b.Input(), b.Input()
+		axb := b.Gate(XOR, a, bb)
+		sum := b.Gate(XOR, axb, cin)
+		ab := b.Gate(AND, a, bb)
+		axbc := b.Gate(AND, axb, cin)
+		carry := b.Gate(OR, ab, axbc)
+		b.Output(sum, carry)
+		circ, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return circ
+	}
+	circ := build()
+
+	sch, err := ctx.Compile(circ, ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sch.Stats(); st.Levels != 3 || st.TotalPBS != 5 {
+		t.Fatalf("full adder schedule = %+v, want 3 levels / 5 PBS", st)
+	}
+
+	for _, bits := range [][3]bool{{false, false, false}, {true, false, false}, {true, true, false}, {true, true, true}} {
+		ins := ctx.EncryptBools(bits[:])
+		outs, err := ctx.RunCircuit(circ, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, b := range bits {
+			if b {
+				n++
+			}
+		}
+		wantSum, wantCarry := n%2 == 1, n >= 2
+		if got := ctx.DecryptBools(outs); got[0] != wantSum || got[1] != wantCarry {
+			t.Errorf("adder(%v) = %v, want [%v %v]", bits, got, wantSum, wantCarry)
+		}
+
+		// Reusing the compiled schedule must give the identical result.
+		again, err := ctx.RunSchedule(circ, sch, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range again {
+			if again[k].B != outs[k].B {
+				t.Errorf("RunSchedule output %d differs from RunCircuit", k)
+			}
+		}
+	}
+}
