@@ -334,6 +334,38 @@ func BenchmarkStreamLUT(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiLUT measures multi-value PBS throughput in LUT outputs
+// per second as the fan-out k grows: every iteration runs one blind
+// rotation that serves k lookup tables (plus k extractions and
+// keyswitches). k=1 is exactly the plain EvalLUTKS workload — bitwise
+// identical, by the multi-value degeneration contract — so the
+// k=4 / k=1 quotient is the machine-portable "multi-value vs k
+// independent LUTs" speedup the CI perf gate enforces (cmd/benchjson's
+// multilut_vs_klut, floor 1.5).
+func BenchmarkMultiLUT(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	const space = 4
+	ct := sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(2, space), tfhe.ParamsTest.LWEStdDev)
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			ev := tfhe.NewEvaluator(ek)
+			fs := make([]func(int) int, k)
+			for i := range fs {
+				i := i
+				fs[i] = func(m int) int { return (m*m + i) % space }
+			}
+			ev.EvalMultiLUTKS(ct, space, fs) // warm twiddles off the clock
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.EvalMultiLUTKS(ct, space, fs)
+			}
+			b.ReportMetric(float64(b.N*k)/b.Elapsed().Seconds(), "LUT/s")
+		})
+	}
+}
+
 // BenchmarkCircuitMul measures the levelizing circuit scheduler against
 // the unscheduled per-gate path on a 3-digit encrypted multiply — the
 // same DAG, dispatched one PBS at a time (seq) versus level batches over

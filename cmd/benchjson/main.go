@@ -53,24 +53,34 @@ type File struct {
 }
 
 // gatedRatio defines one machine-portable metric: numerator and
-// denominator benchmark (by metric), measured in the same run.
+// denominator benchmark (by metric), measured in the same run. A nonzero
+// min is an absolute floor on the ratio itself — enforced in compare mode
+// regardless of what the baseline recorded, for claims the code must
+// always honor (not merely not regress from).
 type gatedRatio struct {
 	name     string
 	num, den string
 	unit     string
+	min      float64
 }
 
 // The gated ratios. Both sides of each ratio run on the same machine in
 // the same `go test -bench` invocation, so the quotient cancels hardware
 // speed and isolates what the code controls.
 var gatedRatios = []gatedRatio{
-	// The tentpole claim: levelized scheduling beats the per-gate path on
-	// a multi-digit multiply (ratio ≈ min(workers, mean level width) on
-	// idle multicore hardware; ≈ 1 on a single core).
+	// The PR-4 tentpole claim: levelized scheduling beats the per-gate
+	// path on a multi-digit multiply (ratio ≈ min(workers, mean level
+	// width) on idle multicore hardware; ≈ 1 on a single core).
 	{name: "circuit_sched_vs_seq_w2", num: "BenchmarkCircuitMul/sched-w2", den: "BenchmarkCircuitMul/seq", unit: "PBS/s"},
 	// The streaming pipeline must stay competitive with the flat pool at
 	// equal width ("PBS/s" and "gates/s" both count one PBS per item).
 	{name: "stream_vs_batch_w1", num: "BenchmarkStreamGate/workers=1", den: "BenchmarkBatchGate/workers=1", unit: "PBS/s"},
+	// The multi-value PBS claim: at k=4, packing four LUTs into one
+	// blind rotation must deliver at least 1.5× the throughput of four
+	// independent LUT bootstraps (the saving is algorithmic — one
+	// rotation instead of four — so it holds on a single core; measured
+	// values sit near 3–4×).
+	{name: "multilut_vs_klut", num: "BenchmarkMultiLUT/k=4", den: "BenchmarkMultiLUT/k=1", unit: "LUT/s", min: 1.5},
 }
 
 // metricOf returns a benchmark metric, accepting gates/s as an alias for
@@ -172,10 +182,16 @@ func loadFile(path string) (*File, error) {
 	return &f, nil
 }
 
-// compare gates current against baseline: every gated ratio of the
-// baseline must be present and no more than tol (fractional) below it.
-// Raw benchmark deltas print informationally. Returns an error listing
-// every violated gate.
+// compare gates current against baseline. Every gated ratio — the union
+// of the ratios this binary defines and whatever either file recorded —
+// must be present on BOTH sides: a key missing from the current run means
+// a benchmark silently vanished, and a key missing from the baseline
+// means a new gate was added without regenerating BENCH_pbs.json; both
+// fail the gate rather than silently not enforcing it. A present ratio
+// must sit no more than tol (fractional) below the baseline, and at or
+// above its absolute floor when the ratio defines one. Raw benchmark
+// deltas print informationally. Returns an error listing every violated
+// gate.
 func compare(baseline, current *File, tol float64, w io.Writer) error {
 	fmt.Fprintf(w, "baseline: %d CPUs %s/%s; current: %d CPUs %s/%s\n",
 		baseline.CPUs, baseline.GoOS, baseline.GoArch, current.CPUs, current.GoOS, current.GoArch)
@@ -199,19 +215,42 @@ func compare(baseline, current *File, tol float64, w io.Writer) error {
 		}
 	}
 
+	mins := map[string]float64{}
+	gateSet := map[string]bool{}
+	for _, g := range gatedRatios {
+		gateSet[g.name] = true
+		if g.min > 0 {
+			mins[g.name] = g.min
+		}
+	}
+	for name := range baseline.Gated {
+		gateSet[name] = true
+	}
+	for name := range current.Gated {
+		gateSet[name] = true
+	}
 	var failures []string
 	var gates []string
-	for name := range baseline.Gated {
+	for name := range gateSet {
 		gates = append(gates, name)
 	}
 	sort.Strings(gates)
 	for _, name := range gates {
-		base := baseline.Gated[name]
-		cur, ok := current.Gated[name]
+		base, okBase := baseline.Gated[name]
+		cur, okCur := current.Gated[name]
 		floor := base * (1 - tol)
+		if min, hasMin := mins[name]; hasMin && floor < min {
+			floor = min
+		}
 		status := "ok"
 		switch {
-		case !ok:
+		case !okBase && !okCur:
+			status = "MISSING"
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline and current run", name))
+		case !okBase:
+			status = "MISSING"
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline — regenerate BENCH_pbs.json (make bench-json) and commit it", name))
+		case !okCur:
 			status = "MISSING"
 			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
 		case cur < floor:

@@ -20,6 +20,9 @@ BenchmarkStreamGate/workers=1-8    	       5	  30000000 ns/op	       105.0 PBS/s
 BenchmarkCircuitMul/seq-8          	       5	  75000000 ns/op	       250.0 PBS/s
 BenchmarkCircuitMul/sched-w2-8     	       5	  38000000 ns/op	       500.0 PBS/s
 BenchmarkCircuitMul/sched-wmax-8   	       5	  20000000 ns/op	       950.0 PBS/s
+BenchmarkMultiLUT/k=1-8            	       5	   5000000 ns/op	       200.0 LUT/s
+BenchmarkMultiLUT/k=2-8            	       5	   5200000 ns/op	       385.0 LUT/s
+BenchmarkMultiLUT/k=4-8            	       5	   5500000 ns/op	       727.0 LUT/s
 PASS
 ok  	repro	12.3s
 `
@@ -40,6 +43,9 @@ func TestParseBench(t *testing.T) {
 	}
 	if got := f.Gated["stream_vs_batch_w1"]; got != 1.05 {
 		t.Errorf("stream ratio = %v, want 1.05", got)
+	}
+	if got := f.Gated["multilut_vs_klut"]; got != 727.0/200.0 {
+		t.Errorf("multilut ratio = %v, want %v", got, 727.0/200.0)
 	}
 }
 
@@ -64,7 +70,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A regressed ratio inside the band passes, outside it fails.
 	regressed := *base
-	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05}
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6}
 	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
 		t.Errorf("20%% regression inside 25%% band failed: %v", err)
 	}
@@ -73,9 +79,56 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A gate missing from the current run fails.
 	missing := *base
-	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05}
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6}
 	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
-		t.Error("missing gate passed")
+		t.Error("gate missing from current run passed")
+	}
+}
+
+// TestCompareMissingFromBaseline pins the other direction of the
+// missing-key gate: a ratio this binary defines that the committed
+// baseline lacks (a new gate landed without regenerating BENCH_pbs.json)
+// must fail the compare, not silently go unenforced.
+func TestCompareMissingFromBaseline(t *testing.T) {
+	base, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := *base
+	stale.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05}
+	var buf strings.Builder
+	err = compare(&stale, base, 0.25, &buf)
+	if err == nil {
+		t.Fatal("gate missing from baseline passed")
+	}
+	if !strings.Contains(err.Error(), "multilut_vs_klut") || !strings.Contains(err.Error(), "regenerate BENCH_pbs.json") {
+		t.Errorf("missing-from-baseline failure not named: %v", err)
+	}
+	// Missing from both sides (two stale files) also fails.
+	if err := compare(&stale, &stale, 0.25, os.Stderr); err == nil {
+		t.Error("gate missing from both files passed")
+	}
+}
+
+// TestCompareAbsoluteFloor pins the min field: multilut_vs_klut must be
+// ≥ 1.5 even when the baseline itself dipped, and the tolerance band
+// cannot reach below the floor.
+func TestCompareAbsoluteFloor(t *testing.T) {
+	base, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := *base
+	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4}
+	// 1.4 is within 25% of the 3.635 baseline? No — but force the band
+	// wide enough that only the absolute floor can catch it.
+	if err := compare(base, &low, 0.99, os.Stderr); err == nil {
+		t.Error("multilut ratio below the 1.5 absolute floor passed")
+	}
+	ok := *base
+	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6}
+	if err := compare(base, &ok, 0.99, os.Stderr); err != nil {
+		t.Errorf("multilut ratio above the absolute floor failed: %v", err)
 	}
 }
 
@@ -89,10 +142,10 @@ func TestSmoke(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
-	cmdtest.WantSubstrings(t, out, "wrote", "2 gated ratios")
+	cmdtest.WantSubstrings(t, out, "wrote", "3 gated ratios")
 
 	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
-	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2")
+	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut")
 
 	if out, err := cmdtest.RunErr(t, bin, "-compare", baseJSON); err == nil {
 		t.Errorf("missing compare arg succeeded:\n%s", out)

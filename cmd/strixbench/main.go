@@ -17,6 +17,7 @@
 //	strixbench -serve -clients 8 -gates 32 -parallel 4
 //	strixbench -circuit 4              # scheduled vs sequential multiply PBS/s
 //	strixbench -circuit 4 -parallel 8  # ... with explicit engine widths
+//	strixbench -multilut 4             # multi-value PBS vs 4 independent LUTs
 package main
 
 import (
@@ -271,6 +272,106 @@ func runServe(set string, clients, gates, workers int) error {
 	return nil
 }
 
+// runMultiLUT measures multi-value PBS against k independent LUT
+// evaluations over the same inputs — the fan-out workload where one blind
+// rotation serves k lookup tables. Before timing, it verifies the
+// multi-value outputs decode identically to k independent EvalLUT calls
+// for every message in the space, that the k=1 lane is bitwise identical
+// to the plain EvalLUT path, and that the streaming engine reproduces the
+// sequential multi-value path bitwise.
+func runMultiLUT(set string, k, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	const space = 4
+	if err := p.ValidateMultiLUT(space, k); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	fmt.Printf("multilut mode: set %s, space %d, k=%d tables per rotation\n", p.Name, space, k)
+	fmt.Print("generating keys... ")
+	start := time.Now()
+	rng := rand.New(rand.NewSource(1))
+	sk, ek := tfhe.GenerateKeys(rng, p)
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	fs := make([]func(int) int, k)
+	for i := range fs {
+		i := i
+		fs[i] = func(m int) int { return (m*m + i) % space }
+	}
+
+	// Verify across the whole message space before timing anything.
+	ev := tfhe.NewEvaluator(ek)
+	ref := tfhe.NewEvaluator(ek)
+	s := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: workers})
+	for m := 0; m < space; m++ {
+		ct := sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(m, space), p.LWEStdDev)
+		multi := ev.EvalMultiLUTKS(ct, space, fs)
+		streamed, err := s.StreamMultiLUT([]tfhe.LWECiphertext{ct}, space, fs)
+		if err != nil {
+			return err
+		}
+		for j := range fs {
+			indep := ref.EvalLUTKS(ct, space, fs[j])
+			got := tfhe.DecodePBSMessage(sk.LWE.Phase(multi[j]), space)
+			want := tfhe.DecodePBSMessage(sk.LWE.Phase(indep), space)
+			if got != want || want != fs[j](m) {
+				return fmt.Errorf("m=%d table %d: multi-value decodes to %d, independent EvalLUT to %d, plaintext %d", m, j, got, want, fs[j](m))
+			}
+			if !sameLWE(multi[j], streamed[0][j]) {
+				return fmt.Errorf("m=%d table %d: streaming engine differs from sequential multi-value path", m, j)
+			}
+			if k == 1 && !sameLWE(multi[j], indep) {
+				return fmt.Errorf("m=%d: k=1 multi-value output is not bitwise identical to EvalLUT", m)
+			}
+		}
+	}
+	fmt.Printf("verified : all %d messages decode like %d independent EvalLUT calls; streaming bitwise = sequential", space, k)
+	if k == 1 {
+		fmt.Print("; k=1 lane bitwise = EvalLUT")
+	}
+	fmt.Println()
+
+	// Time the two strategies over one batch on one evaluator, so the
+	// ratio isolates the algorithmic saving (k outputs per rotation).
+	const batch = 32
+	cts := make([]tfhe.LWECiphertext, batch)
+	for i := range cts {
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(i%space, space), p.LWEStdDev)
+	}
+	ev.Counters.Reset()
+	start = time.Now()
+	for _, ct := range cts {
+		for j := range fs {
+			ref.EvalLUTKS(ct, space, fs[j])
+		}
+	}
+	klut := time.Since(start)
+	start = time.Now()
+	for _, ct := range cts {
+		ev.EvalMultiLUTKS(ct, space, fs)
+	}
+	multi := time.Since(start)
+	outs := batch * k
+	fmt.Printf("k·LUT    : %d outputs via %d rotations in %v  =  %.1f LUT/s\n",
+		outs, outs, klut.Round(time.Millisecond), float64(outs)/klut.Seconds())
+	fmt.Printf("multilut : %d outputs via %d rotations in %v  =  %.1f LUT/s  (%.1f rotations/s, %.2fx k·LUT)\n",
+		outs, ev.Counters.PBSCount, multi.Round(time.Millisecond), float64(outs)/multi.Seconds(),
+		float64(ev.Counters.PBSCount)/multi.Seconds(), klut.Seconds()/multi.Seconds())
+	fmt.Printf("saved    : %d of %d rotations (%.0f%%)\n",
+		ev.Counters.MultiValueOuts-ev.Counters.MultiValuePBS, outs,
+		100*float64(ev.Counters.MultiValueOuts-ev.Counters.MultiValuePBS)/float64(outs))
+	return nil
+}
+
+// sameLWE compares two LWE ciphertexts bitwise.
+func sameLWE(a, b tfhe.LWECiphertext) bool { return tfhe.EqualLWE(a, b) }
+
 // runCircuit measures the levelizing circuit scheduler against the
 // unscheduled per-gate path on a multi-digit encrypted multiply — the
 // carry-chain workload whose partial products give the scheduler wide
@@ -358,13 +459,8 @@ func runCircuit(set string, digits, workers int) error {
 
 	// Verify: bitwise-identical ciphertexts and the correct product.
 	for i := range seqOut {
-		if seqOut[i].B != schedOut[i].B {
+		if !sameLWE(seqOut[i], schedOut[i]) {
 			return fmt.Errorf("scheduled output %d differs from sequential", i)
-		}
-		for j := range seqOut[i].A {
-			if seqOut[i].A[j] != schedOut[i].A[j] {
-				return fmt.Errorf("scheduled output %d differs from sequential", i)
-			}
 		}
 	}
 	want := (vx * vy) % (intops.MaxValue(digits) + 1)
@@ -393,6 +489,7 @@ func main() {
 	batch := flag.Int("batch", 0, "software batch mode: PBS per batch (enables the mode)")
 	stream := flag.Int("stream", 0, "streaming pipeline mode: PBS per stream (enables the mode)")
 	circuit := flag.Int("circuit", 0, "circuit scheduler mode: multiply digit count (enables the mode)")
+	multilut := flag.Int("multilut", 0, "multi-value PBS mode: LUT outputs per blind rotation (enables the mode)")
 	serve := flag.Bool("serve", false, "gate service mode: end-to-end PBS/s through an HTTP server")
 	clients := flag.Int("clients", 4, "serve mode: concurrent client sessions")
 	gates := flag.Int("gates", 64, "serve mode: gates per client batch")
@@ -408,13 +505,13 @@ func main() {
 	}
 
 	modes := 0
-	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *serve} {
+	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *serve} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, and -serve are mutually exclusive; run them separately")
+		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, and -serve are mutually exclusive; run them separately")
 		os.Exit(1)
 	}
 
@@ -452,6 +549,18 @@ func main() {
 
 	if *circuit != 0 {
 		if err := runCircuit(*set, *circuit, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *multilut != 0 {
+		if *multilut < 0 {
+			fmt.Fprintf(os.Stderr, "strixbench: -multilut must be positive, got %d\n", *multilut)
+			os.Exit(1)
+		}
+		if err := runMultiLUT(*set, *multilut, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "strixbench:", err)
 			os.Exit(1)
 		}

@@ -31,6 +31,19 @@ func TestSmoke(t *testing.T) {
 			"plan     :", "sequential:", "scheduled :", "verified  :", "bitwise identical")
 	})
 
+	t.Run("multilut", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-multilut", "2", "-parallel", "2", "-set", "test")
+		cmdtest.WantSubstrings(t, out, "multilut mode: set test, space 4, k=2",
+			"verified :", "streaming bitwise = sequential", "multilut :", "rotations/s", "saved    :")
+	})
+
+	t.Run("multilut overpacked rejected", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "-multilut", "999999", "-set", "test")
+		if err == nil {
+			t.Errorf("space·k > N succeeded:\n%s", out)
+		}
+	})
+
 	t.Run("circuit bad digits", func(t *testing.T) {
 		out, err := cmdtest.RunErr(t, bin, "-circuit", "-3")
 		if err == nil {

@@ -1,0 +1,272 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/tfhe"
+)
+
+// Backend is one execution path for the public operation surface. Every
+// method takes dimension-n inputs and returns dimension-n outputs (the
+// full PBS + keyswitch pipeline per item), in input order.
+type Backend interface {
+	// Name identifies the backend in failure messages.
+	Name() string
+	// Gate evaluates out[i] = op(a[i], b[i]); b is nil for the unary NOT.
+	Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
+	// LUT applies table (message space space) to every ciphertext.
+	LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error)
+	// MultiLUT applies the k tables to every ciphertext via multi-value
+	// PBS: out[i][j] is tables[j] applied to cts[i].
+	MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error)
+	// Circuit executes a built circuit over the inputs.
+	Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
+}
+
+// EqualLWE reports whether two ciphertexts are bitwise identical — the
+// conformance relation (tfhe.EqualLWE, re-exposed where the suite states
+// its contract).
+func EqualLWE(a, b tfhe.LWECiphertext) bool {
+	return tfhe.EqualLWE(a, b)
+}
+
+// Fixture bundles one deterministic key set with all five backends wired
+// to it, including a live in-process gate service. Close releases the
+// service.
+type Fixture struct {
+	SK tfhe.SecretKeys
+	EK tfhe.EvaluationKeys
+
+	backends []Backend
+	ts       *httptest.Server
+}
+
+// NewFixture generates keys for the test parameter set from seed and
+// stands up every backend over them.
+func NewFixture(seed int64) (*Fixture, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	f := &Fixture{SK: sk, EK: ek}
+
+	srv := server.New(server.Config{Stream: engine.StreamConfig{RotateWorkers: 2}})
+	f.ts = httptest.NewServer(srv.Handler())
+	cl := server.Dial(f.ts.URL, "conformance")
+	if err := cl.RegisterKey(ek); err != nil {
+		f.ts.Close()
+		return nil, err
+	}
+
+	batch := engine.New(ek, engine.Config{Workers: 2, ChunkSize: 1})
+	stream := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: 2, KSWorkers: 2})
+	f.backends = []Backend{
+		seqBackend{ev: tfhe.NewEvaluator(ek)},
+		batchBackend{eng: batch},
+		streamBackend{eng: stream},
+		schedBackend{r: &sched.Runner{Batch: batch, Stream: stream}},
+		serverBackend{cl: cl},
+	}
+	return f, nil
+}
+
+// Backends returns the five backends; index 0 is the sequential
+// reference every other backend must match bitwise.
+func (f *Fixture) Backends() []Backend { return f.backends }
+
+// Close shuts the in-process gate service down.
+func (f *Fixture) Close() { f.ts.Close() }
+
+// seqBackend is the sequential evaluator — the bitwise reference.
+type seqBackend struct {
+	ev *tfhe.Evaluator
+}
+
+func (s seqBackend) Name() string { return "sequential" }
+
+func (s seqBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	out := make([]tfhe.LWECiphertext, len(a))
+	for i := range a {
+		switch op {
+		case engine.NAND:
+			out[i] = s.ev.NAND(a[i], b[i])
+		case engine.AND:
+			out[i] = s.ev.AND(a[i], b[i])
+		case engine.OR:
+			out[i] = s.ev.OR(a[i], b[i])
+		case engine.NOR:
+			out[i] = s.ev.NOR(a[i], b[i])
+		case engine.XOR:
+			out[i] = s.ev.XOR(a[i], b[i])
+		case engine.XNOR:
+			out[i] = s.ev.XNOR(a[i], b[i])
+		case engine.NOT:
+			out[i] = s.ev.NOT(a[i])
+		default:
+			return nil, fmt.Errorf("conformance: unknown gate %d", int(op))
+		}
+	}
+	return out, nil
+}
+
+func (s seqBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	out := make([]tfhe.LWECiphertext, len(cts))
+	for i, ct := range cts {
+		out[i] = s.ev.EvalLUTKS(ct, space, func(m int) int { return table[m] })
+	}
+	return out, nil
+}
+
+func (s seqBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	out := make([][]tfhe.LWECiphertext, len(cts))
+	for i, ct := range cts {
+		out[i] = s.ev.EvalMultiLUTKS(ct, space, tfhe.TableFuncs(tables))
+	}
+	return out, nil
+}
+
+func (s seqBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return sched.RunSequential(circ, s.ev, inputs)
+}
+
+// batchBackend is the flat worker-pool engine.
+type batchBackend struct {
+	eng *engine.Engine
+}
+
+func (b batchBackend) Name() string { return "batch" }
+
+func (b batchBackend) Gate(op engine.GateOp, a, bb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return b.eng.BatchGate(op, a, bb)
+}
+
+func (b batchBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	return b.eng.BatchEvalLUT(cts, space, func(m int) int { return table[m] }), nil
+}
+
+func (b batchBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	return b.eng.BatchMultiLUT(cts, space, tfhe.TableFuncs(tables))
+}
+
+func (b batchBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	r := &sched.Runner{Batch: b.eng}
+	return r.Run(circ, sched.Config{Mode: sched.BatchOnly}, inputs)
+}
+
+// streamBackend is the staged pipeline engine.
+type streamBackend struct {
+	eng *engine.StreamingEngine
+}
+
+func (s streamBackend) Name() string { return "streaming" }
+
+func (s streamBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return s.eng.StreamGate(op, a, b)
+}
+
+func (s streamBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	return s.eng.StreamLUT(cts, space, func(m int) int { return table[m] }), nil
+}
+
+func (s streamBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	return s.eng.StreamMultiLUT(cts, space, tfhe.TableFuncs(tables))
+}
+
+func (s streamBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	r := &sched.Runner{Stream: s.eng}
+	return r.Run(circ, sched.Config{Mode: sched.StreamOnly}, inputs)
+}
+
+// schedBackend reaches every operation through the levelizing scheduler:
+// each call is built as a one-level circuit, compiled, and dispatched to
+// the engines by the cost model — the path whole workloads take.
+type schedBackend struct {
+	r *sched.Runner
+}
+
+func (s schedBackend) Name() string { return "scheduled" }
+
+func (s schedBackend) Gate(op engine.GateOp, a, bs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	b := sched.NewBuilder()
+	inputs := make([]tfhe.LWECiphertext, 0, 2*len(a))
+	for i := range a {
+		aw := b.Input()
+		inputs = append(inputs, a[i])
+		bw := sched.Wire(-1)
+		if op != engine.NOT {
+			bw = b.Input()
+			inputs = append(inputs, bs[i])
+		}
+		b.Output(b.Gate(op, aw, bw))
+	}
+	circ, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return s.r.Run(circ, sched.Config{}, inputs)
+}
+
+func (s schedBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	b := sched.NewBuilder()
+	for range cts {
+		b.Output(b.LUT(b.Input(), space, table))
+	}
+	circ, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return s.r.Run(circ, sched.Config{}, cts)
+}
+
+func (s schedBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	b := sched.NewBuilder()
+	for range cts {
+		b.Output(b.MultiLUT(b.Input(), space, tables)...)
+	}
+	circ, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	flat, err := s.r.Run(circ, sched.Config{}, cts)
+	if err != nil {
+		return nil, err
+	}
+	k := len(tables)
+	out := make([][]tfhe.LWECiphertext, len(cts))
+	for i := range out {
+		out[i] = flat[i*k : (i+1)*k]
+	}
+	return out, nil
+}
+
+func (s schedBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return s.r.Run(circ, sched.Config{}, inputs)
+}
+
+// serverBackend reaches every operation through the gate service's HTTP
+// API: wire codec, JSON framing, session lookup, and the group-commit
+// coalescer all sit between the call and the engine.
+type serverBackend struct {
+	cl *server.Client
+}
+
+func (s serverBackend) Name() string { return "server" }
+
+func (s serverBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return s.cl.GateBatch(op, a, b)
+}
+
+func (s serverBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	return s.cl.LUTBatch(cts, space, table)
+}
+
+func (s serverBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	return s.cl.MultiLUTBatch(cts, space, tables)
+}
+
+func (s serverBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return s.cl.CircuitBatch(circ, inputs)
+}

@@ -1,0 +1,15 @@
+// Package conformance cross-checks every public FHE operation — boolean
+// gates, lookup tables, multi-value lookup tables, and whole circuits —
+// across the five execution backends of the repository: the sequential
+// evaluator, the flat worker-pool engine, the streaming pipeline engine,
+// the levelizing circuit scheduler, and the networked gate service.
+//
+// Server-side TFHE is deterministic, and every backend executes the same
+// per-ciphertext computation in the same order, so conformance is defined
+// as bitwise equality: for identical inputs under identical keys, every
+// backend must produce ciphertexts identical to the sequential reference
+// bit for bit. The table-driven suite in this package runs each (op,
+// backend) pair under the race detector in CI, which is what lets the
+// engines and the service evolve aggressively without silently forking
+// semantics.
+package conformance

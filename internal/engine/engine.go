@@ -176,6 +176,24 @@ func (e *Engine) BatchEvalLUT(cts []tfhe.LWECiphertext, space int, f func(int) i
 	return out
 }
 
+// BatchMultiLUT applies k lookup tables to every ciphertext via one
+// multi-value PBS per item — a single blind rotation fanned out into k
+// extractions and keyswitches. out[i][j] is table j applied to cts[i], at
+// dimension n, bitwise identical to the sequential EvalMultiLUTKS.
+func (e *Engine) BatchMultiLUT(cts []tfhe.LWECiphertext, space int, fs []func(int) int) ([][]tfhe.LWECiphertext, error) {
+	if err := e.params.ValidateMultiLUT(space, len(fs)); err != nil {
+		return nil, err
+	}
+	checkDims("BatchMultiLUT", cts, e.params.SmallN)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][]tfhe.LWECiphertext, len(cts))
+	e.run(len(cts), func(ev *tfhe.Evaluator, i int) {
+		out[i] = ev.EvalMultiLUTKS(cts[i], space, fs)
+	})
+	return out, nil
+}
+
 // validateGateOperands rejects unknown ops and mismatched operand lengths
 // or dimensions for the pairwise gate APIs (BatchGate, StreamGate) before
 // any worker goroutine starts, so every failure surfaces as an error or a

@@ -142,22 +142,27 @@ func (s *StreamingEngine) ResetCounters() {
 	}
 }
 
-// streamItem is one ciphertext in flight between stages.
+// streamItem is one ciphertext in flight between stages: one accumulator
+// fanning out into one or more extracted outputs.
 type streamItem struct {
-	idx int
-	ms  tfhe.ModSwitched
-	acc tfhe.GLWECiphertext
-	big tfhe.LWECiphertext
+	idx  int
+	ms   tfhe.ModSwitched
+	acc  tfhe.GLWECiphertext
+	bigs []tfhe.LWECiphertext
 }
 
-// stream pushes items 0..n-1 through the staged pipeline. prepare runs in
-// the first stage on the prepare evaluator and returns the LWE input to
-// bootstrap for item i; done=true short-circuits the pipeline with ct as
-// the final output (the free NOT gate). testVec is read-only and shared by
-// the whole stream. When doKS is false the fused keyswitch stage is
-// bypassed and outputs stay at dimension k·N. Callers hold s.mu.
-func (s *StreamingEngine) stream(n int, testVec tfhe.GLWECiphertext, prepare func(ev *tfhe.Evaluator, i int) (ct tfhe.LWECiphertext, done bool), doKS bool) []tfhe.LWECiphertext {
-	out := make([]tfhe.LWECiphertext, n)
+// streamMulti pushes items 0..n-1 through the staged pipeline. prepare
+// runs in the first stage on the prepare evaluator and returns the LWE
+// input to bootstrap for item i; done=true short-circuits the pipeline
+// with ct as the item's single output (the free NOT gate). extract maps
+// each rotated accumulator to the item's outputs on the extract-stage
+// evaluator — one for a plain PBS, k for a multi-value one. testVec is
+// read-only and shared by the whole stream. When doKS is false the fused
+// keyswitch stage is bypassed and outputs stay at dimension k·N; each KS
+// worker otherwise keyswitches a whole item's outputs in order, which
+// keeps results bitwise stable across pool widths. Callers hold s.mu.
+func (s *StreamingEngine) streamMulti(n int, testVec tfhe.GLWECiphertext, prepare func(ev *tfhe.Evaluator, i int) (ct tfhe.LWECiphertext, done bool), extract func(ev *tfhe.Evaluator, acc tfhe.GLWECiphertext) []tfhe.LWECiphertext, doKS bool) [][]tfhe.LWECiphertext {
+	out := make([][]tfhe.LWECiphertext, n)
 	rotated := make(chan streamItem, s.depth)
 	extracted := make(chan streamItem, s.depth)
 	toRotate := make(chan streamItem, s.depth)
@@ -169,7 +174,7 @@ func (s *StreamingEngine) stream(n int, testVec tfhe.GLWECiphertext, prepare fun
 		for i := 0; i < n; i++ {
 			ct, done := prepare(s.prep, i)
 			if done {
-				out[i] = ct
+				out[i] = []tfhe.LWECiphertext{ct}
 				continue
 			}
 			ms := s.prep.ModSwitchLWE(ct)
@@ -195,13 +200,14 @@ func (s *StreamingEngine) stream(n int, testVec tfhe.GLWECiphertext, prepare fun
 		close(rotated)
 	}()
 
-	// Stage 3 — sample extract (line 13).
+	// Stage 3 — sample extract (line 13), fanning the accumulator out
+	// into the item's outputs.
 	go func() {
 		defer close(extracted)
 		for it := range rotated {
-			it.big = s.ext.Extract(it.acc)
+			it.bigs = extract(s.ext, it.acc)
 			if !doKS {
-				out[it.idx] = it.big
+				out[it.idx] = it.bigs
 				continue
 			}
 			extracted <- it
@@ -209,7 +215,7 @@ func (s *StreamingEngine) stream(n int, testVec tfhe.GLWECiphertext, prepare fun
 	}()
 
 	// Stage 4 — fused keyswitch (Algorithm 2, the §IV-C handoff): the
-	// extracted ciphertext goes straight to the KS pool without ever
+	// extracted ciphertexts go straight to the KS pool without ever
 	// surfacing to the caller. A KS-less stream (StreamBootstrap) skips
 	// the pool; draining the closed channel is the completion barrier
 	// that orders the extract stage's out writes before the return.
@@ -223,13 +229,33 @@ func (s *StreamingEngine) stream(n int, testVec tfhe.GLWECiphertext, prepare fun
 			go func(ev *tfhe.Evaluator) {
 				defer ksWG.Done()
 				for it := range extracted {
-					out[it.idx] = ev.KeySwitch(it.big)
+					outs := make([]tfhe.LWECiphertext, len(it.bigs))
+					for j, big := range it.bigs {
+						outs[j] = ev.KeySwitch(big)
+					}
+					out[it.idx] = outs
 				}
 			}(ev)
 		}
 		ksWG.Wait()
 	}
 	atomic.AddInt64(&s.streams, 1)
+	return out
+}
+
+// extractOne is the plain-PBS extract stage: one output per accumulator.
+func extractOne(ev *tfhe.Evaluator, acc tfhe.GLWECiphertext) []tfhe.LWECiphertext {
+	return []tfhe.LWECiphertext{ev.Extract(acc)}
+}
+
+// stream is streamMulti for the single-output operations (gates, plain
+// LUTs, raw bootstraps): one extraction per accumulator, outputs
+// flattened to one ciphertext per item.
+func (s *StreamingEngine) stream(n int, testVec tfhe.GLWECiphertext, prepare func(ev *tfhe.Evaluator, i int) (ct tfhe.LWECiphertext, done bool), doKS bool) []tfhe.LWECiphertext {
+	out := make([]tfhe.LWECiphertext, n)
+	for i, outs := range s.streamMulti(n, testVec, prepare, extractOne, doKS) {
+		out[i] = outs[0]
+	}
 	return out
 }
 
@@ -258,6 +284,32 @@ func (s *StreamingEngine) StreamLUT(cts []tfhe.LWECiphertext, space int, f func(
 	return s.stream(len(cts), testVec, func(ev *tfhe.Evaluator, i int) (tfhe.LWECiphertext, bool) {
 		return ev.ShiftForLUT(cts[i], space), false
 	}, true)
+}
+
+// StreamMultiLUT streams k lookup tables over every ciphertext with one
+// blind rotation per item: the packed test vector is encoded once and
+// shared by the whole stream, each item flows through shift → modswitch →
+// blind rotate, and the extract stage fans the rotated accumulator out
+// into k sample extractions whose keyswitches are fused into the KS pool
+// — k full §IV-C outputs per rotation. out[i][j] is table j applied to
+// cts[i], bitwise identical to the sequential EvalMultiLUTKS for any
+// stage configuration.
+func (s *StreamingEngine) StreamMultiLUT(cts []tfhe.LWECiphertext, space int, fs []func(int) int) ([][]tfhe.LWECiphertext, error) {
+	k := len(fs)
+	if err := s.params.ValidateMultiLUT(space, k); err != nil {
+		return nil, err
+	}
+	checkDims("StreamMultiLUT", cts, s.params.SmallN)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	testVec := s.prep.NewMultiLUTTestVector(space, fs)
+	offsets := s.params.MultiLUTOffsets(space, k)
+	return s.streamMulti(len(cts), testVec, func(ev *tfhe.Evaluator, i int) (tfhe.LWECiphertext, bool) {
+		return ev.ShiftForMultiLUT(cts[i], space, k), false
+	}, func(ev *tfhe.Evaluator, acc tfhe.GLWECiphertext) []tfhe.LWECiphertext {
+		return ev.ExtractMulti(acc, offsets)
+	}, true), nil
 }
 
 // gateInput dispatches the pre-bootstrap linear stage of one gate on the

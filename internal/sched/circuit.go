@@ -28,10 +28,11 @@ type Term struct {
 type nodeKind uint8
 
 const (
-	kindInput nodeKind = iota // externally supplied ciphertext
-	kindLin                   // linear combination: free, no PBS
-	kindGate                  // binary boolean gate: one PBS + KS
-	kindLUT                   // lookup table: one PBS + KS
+	kindInput    nodeKind = iota // externally supplied ciphertext
+	kindLin                      // linear combination: free, no PBS
+	kindGate                     // binary boolean gate: one PBS + KS
+	kindLUT                      // lookup table: one PBS + KS
+	kindMultiLUT                 // one output of a multi-value LUT group
 )
 
 // node is one vertex of the DAG. Exactly the fields of its kind are set.
@@ -46,10 +47,16 @@ type node struct {
 	op   engine.GateOp
 	a, b Wire
 
-	// kindLUT
+	// kindLUT (in, space shared with kindMultiLUT)
 	in    Wire
 	space int
 	table []int
+
+	// kindMultiLUT: a group of k contiguous sibling nodes sharing one
+	// blind rotation. Every sibling holds the same tables slice (table
+	// mvIdx is this node's output); the head sibling has mvIdx 0.
+	tables [][]int
+	mvIdx  int
 }
 
 // Circuit is an immutable gate/LUT dataflow graph produced by a Builder
@@ -156,24 +163,81 @@ func (b *Builder) Gate(op engine.GateOp, a, bw Wire) Wire {
 // Not appends the free boolean negation of a (sugar for Gate(NOT, a, _)).
 func (b *Builder) Not(a Wire) Wire { return b.Gate(engine.NOT, a, Wire(-1)) }
 
+// checkTable validates one lookup table of length space with entries in
+// {0..space-1}, recording the first violation.
+func (b *Builder) checkTable(ctx string, space int, table []int) bool {
+	if space < 2 {
+		b.fail("%s: space %d < 2", ctx, space)
+		return false
+	}
+	if len(table) != space {
+		b.fail("%s: table has %d entries, want %d", ctx, len(table), space)
+		return false
+	}
+	for i, v := range table {
+		if v < 0 || v >= space {
+			b.fail("%s: entry %d = %d outside {0..%d}", ctx, i, v, space-1)
+			return false
+		}
+	}
+	return true
+}
+
 // LUT appends a lookup-table node: one PBS + keyswitch applying table
 // (length space, entries in {0..space-1}) to the message on wire in.
 func (b *Builder) LUT(in Wire, space int, table []int) Wire {
 	if !b.checkRef("LUT", in) {
 		return Wire(-1)
 	}
-	if space < 2 {
-		return b.fail("LUT: space %d < 2", space)
-	}
-	if len(table) != space {
-		return b.fail("LUT: table has %d entries, want %d", len(table), space)
-	}
-	for i, v := range table {
-		if v < 0 || v >= space {
-			return b.fail("LUT: entry %d = %d outside {0..%d}", i, v, space-1)
-		}
+	if !b.checkTable("LUT", space, table) {
+		return Wire(-1)
 	}
 	return b.add(node{kind: kindLUT, in: in, space: space, table: append([]int(nil), table...)})
+}
+
+// MultiLUT appends a multi-value lookup group: k = len(tables) outputs of
+// one shared blind rotation over the message on wire in, one wire per
+// table in table order. All tables share the message space; packing
+// requires space·k ≤ N of the executing parameter set (checked at run
+// time, since the circuit is parameter-agnostic) and shrinks the noise
+// margin to 1/(4·space·k) — see the tfhe multi-value documentation.
+func (b *Builder) MultiLUT(in Wire, space int, tables [][]int) []Wire {
+	if !b.checkRef("MultiLUT", in) {
+		return nil
+	}
+	if len(tables) < 1 {
+		b.fail("MultiLUT: no tables")
+		return nil
+	}
+	copied := make([][]int, len(tables))
+	for i, table := range tables {
+		if !b.checkTable("MultiLUT", space, table) {
+			return nil
+		}
+		copied[i] = append([]int(nil), table...)
+	}
+	ws := make([]Wire, len(copied))
+	for i := range copied {
+		ws[i] = b.add(node{kind: kindMultiLUT, in: in, space: space, tables: copied, mvIdx: i})
+	}
+	return ws
+}
+
+// MultiLUTFunc is MultiLUT with the tables materialized from fs over
+// {0..space-1}.
+func (b *Builder) MultiLUTFunc(in Wire, space int, fs ...func(int) int) []Wire {
+	if space < 2 {
+		b.fail("MultiLUTFunc: space %d < 2", space)
+		return nil
+	}
+	tables := make([][]int, len(fs))
+	for i, f := range fs {
+		tables[i] = make([]int, space)
+		for m := range tables[i] {
+			tables[i][m] = f(m)
+		}
+	}
+	return b.MultiLUT(in, space, tables)
 }
 
 // LUTFunc is LUT with the table materialized from f over {0..space-1}.

@@ -36,28 +36,53 @@ type Config struct {
 	// MinStream overrides the Auto-mode threshold. 0 means
 	// DefaultMinStream.
 	MinStream int
+	// MultiValue enables multi-value fusing of plain LUT fan-out: when
+	// ≥ 2, independent LUT nodes of a level that read the same input
+	// wire with the same message space are packed — up to MultiValue per
+	// group — into multi-value dispatches that pay one blind rotation
+	// for the whole group. Outputs decode identically to the unfused
+	// schedule but are not bitwise identical to it (the shared rotation
+	// uses a k×-finer packed test vector), and the executing parameter
+	// set must satisfy space·k ≤ N. 0 disables fusing. Explicit
+	// Builder.MultiLUT groups always execute multi-value, knob or not.
+	MultiValue int
 }
 
 // DispatchKind discriminates what a dispatch executes.
 type DispatchKind uint8
 
-// The dispatch kinds: one boolean gate op batched pairwise, or one shared
-// lookup table batched over a ciphertext slice.
+// The dispatch kinds: one boolean gate op batched pairwise, one shared
+// lookup table batched over a ciphertext slice, or one shared multi-value
+// table group batched over the group input ciphertexts.
 const (
 	DispatchGate DispatchKind = iota
 	DispatchLUT
+	DispatchMultiLUT
 )
 
 // Dispatch is one engine call of a level: every PBS node of the level
-// that shares this gate op (or this exact lookup table), batched
-// together. Nodes lists the node wires in build order.
+// that shares this gate op (or this exact lookup table, or this exact
+// multi-value table list), batched together. Nodes lists the node wires
+// in build order. For DispatchMultiLUT, Nodes is group-major with stride
+// k = len(Tables): Nodes[g·k+i] receives table i's output for group g,
+// and every node of a group reads the same input wire.
 type Dispatch struct {
 	Kind   DispatchKind
-	Op     GateOp // DispatchGate
-	Space  int    // DispatchLUT
-	Table  []int  // DispatchLUT; shared by every node of the dispatch
+	Op     GateOp  // DispatchGate
+	Space  int     // DispatchLUT, DispatchMultiLUT
+	Table  []int   // DispatchLUT; shared by every node of the dispatch
+	Tables [][]int // DispatchMultiLUT; shared by every group of the dispatch
 	Nodes  []Wire
 	Stream bool // cost-model routing: streaming pipeline vs worker pool
+}
+
+// Groups returns how many blind rotations a dispatch costs: one per node,
+// except multi-value dispatches where one rotation serves a whole group.
+func (d Dispatch) Groups() int {
+	if d.Kind == DispatchMultiLUT {
+		return len(d.Nodes) / len(d.Tables)
+	}
+	return len(d.Nodes)
 }
 
 // Level is one dependency-free layer of the schedule: every dispatch (and
@@ -65,17 +90,22 @@ type Dispatch struct {
 // whole level could execute concurrently.
 type Level struct {
 	Dispatches []Dispatch
-	PBS        int // total PBS nodes in the level
+	PBS        int // total blind rotations in the level
 }
 
 // Stats summarizes a schedule's shape.
 type Stats struct {
 	Levels      int // PBS depth of the circuit
-	TotalPBS    int // total bootstraps per execution
-	MaxLevelPBS int // widest level
+	TotalPBS    int // total blind rotations per execution
+	MaxLevelPBS int // widest level (rotations)
 	Dispatches  int // engine calls per execution
 	Streamed    int // dispatches routed to the streaming engine
 	LinearNodes int // free nodes folded in between levels
+
+	// Multi-value packing: LUT outputs served by shared rotations and
+	// the rotations those shares saved versus one PBS per output.
+	MultiValueOuts int
+	RotationsSaved int
 }
 
 // Schedule is a compiled circuit: levelized dispatches plus the free
@@ -99,11 +129,14 @@ func (s *Schedule) Levels() []Level { return s.levels }
 func (s *Schedule) Stats() Stats { return s.stats }
 
 // String renders a compact plan summary, e.g.
-// "7 levels, 37 PBS (max 16/level), 12 dispatches (3 streamed)".
+// "7 levels, 37 PBS (max 16/level), 12 dispatches (3 streamed), 9 rotations saved (multi-value)".
 func (s *Schedule) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d levels, %d PBS (max %d/level), %d dispatches (%d streamed)",
 		s.stats.Levels, s.stats.TotalPBS, s.stats.MaxLevelPBS, s.stats.Dispatches, s.stats.Streamed)
+	if s.stats.RotationsSaved > 0 {
+		fmt.Fprintf(&b, ", %d rotations saved (multi-value)", s.stats.RotationsSaved)
+	}
 	return b.String()
 }
 
@@ -117,6 +150,23 @@ func lutDispatchKey(space int, table []int) string {
 	for _, v := range table {
 		b.WriteByte(':')
 		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// multiLUTDispatchKey is the grouping key of a multi-value group:
+// dispatches merge only when the whole table list (count, order, and
+// every entry) is identical.
+func multiLUTDispatchKey(space int, tables [][]int) string {
+	var b strings.Builder
+	b.WriteString("m:")
+	b.WriteString(strconv.Itoa(space))
+	for _, table := range tables {
+		b.WriteByte('|')
+		for _, v := range table {
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(v))
+		}
 	}
 	return b.String()
 }
@@ -153,7 +203,7 @@ func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 				d = lvl[n.b]
 			}
 			lvl[i] = d + 1
-		case kindLUT:
+		case kindLUT, kindMultiLUT:
 			lvl[i] = lvl[n.in] + 1
 		default:
 			return nil, fmt.Errorf("sched: node %d has unknown kind %d", i, n.kind)
@@ -171,37 +221,103 @@ func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 	// groupIdx[l] maps a dispatch key to its index in levels[l].Dispatches,
 	// so grouping preserves first-appearance (build) order.
 	groupIdx := make([]map[string]int, maxLvl)
+	// join appends the node wires to the level-l dispatch for key,
+	// creating it from proto on first appearance, and charges the level
+	// rotations blind rotations.
+	join := func(l int, key string, proto Dispatch, rotations int, ws ...Wire) {
+		if groupIdx[l] == nil {
+			groupIdx[l] = make(map[string]int)
+		}
+		di, ok := groupIdx[l][key]
+		if !ok {
+			di = len(s.levels[l].Dispatches)
+			groupIdx[l][key] = di
+			s.levels[l].Dispatches = append(s.levels[l].Dispatches, proto)
+		}
+		s.levels[l].Dispatches[di].Nodes = append(s.levels[l].Dispatches[di].Nodes, ws...)
+		s.levels[l].PBS += rotations
+	}
+	// Multi-value fan-out detection (Config.MultiValue ≥ 2): plain LUT
+	// nodes are set aside per (level, input wire, space) in build order
+	// and flushed into packed groups after the scan.
+	type fanKey struct {
+		in    Wire
+		space int
+	}
+	var fanAt []map[fanKey][]Wire
+	var fanOrder [][]fanKey
+	if cfg.MultiValue >= 2 {
+		fanAt = make([]map[fanKey][]Wire, maxLvl)
+		fanOrder = make([][]fanKey, maxLvl)
+	}
 	for i, n := range c.nodes {
 		switch n.kind {
 		case kindLin:
 			s.linAt[lvl[i]] = append(s.linAt[lvl[i]], Wire(i))
-		case kindGate, kindLUT:
+		case kindGate:
+			join(lvl[i]-1, "g:"+n.op.String(), Dispatch{Kind: DispatchGate, Op: n.op}, 1, Wire(i))
+		case kindLUT:
 			l := lvl[i] - 1
-			if groupIdx[l] == nil {
-				groupIdx[l] = make(map[string]int)
-			}
-			var key string
-			if n.kind == kindGate {
-				key = "g:" + n.op.String()
-			} else {
-				key = lutDispatchKey(n.space, n.table)
-			}
-			di, ok := groupIdx[l][key]
-			if !ok {
-				di = len(s.levels[l].Dispatches)
-				groupIdx[l][key] = di
-				d := Dispatch{Kind: DispatchGate, Op: n.op}
-				if n.kind == kindLUT {
-					d = Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}
+			if cfg.MultiValue >= 2 {
+				fk := fanKey{in: n.in, space: n.space}
+				if fanAt[l] == nil {
+					fanAt[l] = make(map[fanKey][]Wire)
 				}
-				s.levels[l].Dispatches = append(s.levels[l].Dispatches, d)
+				if _, seen := fanAt[l][fk]; !seen {
+					fanOrder[l] = append(fanOrder[l], fk)
+				}
+				fanAt[l][fk] = append(fanAt[l][fk], Wire(i))
+				continue
 			}
-			s.levels[l].Dispatches[di].Nodes = append(s.levels[l].Dispatches[di].Nodes, Wire(i))
-			s.levels[l].PBS++
+			join(l, lutDispatchKey(n.space, n.table), Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}, 1, Wire(i))
+		case kindMultiLUT:
+			// The head sibling carries the whole group; the group's k
+			// contiguous wires share one rotation.
+			if n.mvIdx != 0 {
+				continue
+			}
+			k := len(n.tables)
+			ws := make([]Wire, k)
+			for j := range ws {
+				ws[j] = Wire(i + j)
+			}
+			join(lvl[i]-1, multiLUTDispatchKey(n.space, n.tables),
+				Dispatch{Kind: DispatchMultiLUT, Space: n.space, Tables: n.tables}, 1, ws...)
+			s.stats.MultiValueOuts += k
+			s.stats.RotationsSaved += k - 1
+		}
+	}
+	// Flush the fan-out accumulators: runs of up to MultiValue LUT nodes
+	// sharing one input become packed groups (their individual tables
+	// form the group's table list); leftovers of one fall back to plain
+	// LUT dispatches.
+	for l := range fanAt {
+		for _, fk := range fanOrder[l] {
+			ws := fanAt[l][fk]
+			for start := 0; start < len(ws); start += cfg.MultiValue {
+				end := start + cfg.MultiValue
+				if end > len(ws) {
+					end = len(ws)
+				}
+				chunk := ws[start:end]
+				if len(chunk) == 1 {
+					n := c.nodes[chunk[0]]
+					join(l, lutDispatchKey(n.space, n.table), Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}, 1, chunk[0])
+					continue
+				}
+				tables := make([][]int, len(chunk))
+				for j, w := range chunk {
+					tables[j] = c.nodes[w].table
+				}
+				join(l, multiLUTDispatchKey(fk.space, tables),
+					Dispatch{Kind: DispatchMultiLUT, Space: fk.space, Tables: tables}, 1, chunk...)
+				s.stats.MultiValueOuts += len(chunk)
+				s.stats.RotationsSaved += len(chunk) - 1
+			}
 		}
 	}
 
-	// Cost model: route each dispatch.
+	// Cost model: route each dispatch by its rotation count.
 	for l := range s.levels {
 		for di := range s.levels[l].Dispatches {
 			d := &s.levels[l].Dispatches[di]
@@ -211,7 +327,7 @@ func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 			case StreamOnly:
 				d.Stream = true
 			default:
-				d.Stream = len(d.Nodes) >= minStream
+				d.Stream = d.Groups() >= minStream
 			}
 			s.stats.Dispatches++
 			if d.Stream {

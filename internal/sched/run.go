@@ -8,14 +8,19 @@ import (
 )
 
 // Executor runs one dispatch worth of PBS work. Implementations must
-// return exactly one output per input, in input order, computing the same
-// per-item operation as the sequential evaluator (both engines and the
-// gate service's session path qualify).
+// return exactly one output per input (one output group per input for
+// MultiLUT), in input order, computing the same per-item operation as the
+// sequential evaluator (both engines and the gate service's session path
+// qualify).
 type Executor interface {
 	// Gate evaluates out[i] = d.Op(a[i], b[i]).
 	Gate(d Dispatch, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
 	// LUT applies d.Table (message space d.Space) to every ciphertext.
 	LUT(d Dispatch, in []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
+	// MultiLUT applies the d.Tables group (message space d.Space) to
+	// every ciphertext via multi-value PBS: out[g][i] is table i applied
+	// to in[g], all k outputs of a group from one blind rotation.
+	MultiLUT(d Dispatch, in []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error)
 }
 
 // evalLin computes one linear node over the resolved wire values. dim is
@@ -99,6 +104,23 @@ func Execute(c *Circuit, s *Schedule, inputs []tfhe.LWECiphertext, ex Executor) 
 					in[j] = vals[c.nodes[w].in]
 				}
 				out, err = ex.LUT(d, in)
+			case DispatchMultiLUT:
+				k := len(d.Tables)
+				in := make([]tfhe.LWECiphertext, len(d.Nodes)/k)
+				for g := range in {
+					in[g] = vals[c.nodes[d.Nodes[g*k]].in]
+				}
+				var groups [][]tfhe.LWECiphertext
+				groups, err = ex.MultiLUT(d, in)
+				if err == nil {
+					out = make([]tfhe.LWECiphertext, 0, len(d.Nodes))
+					for g, outs := range groups {
+						if len(outs) != k {
+							return nil, fmt.Errorf("sched: executor returned %d outputs for a %d-table group %d", len(outs), k, g)
+						}
+						out = append(out, outs...)
+					}
+				}
 			default:
 				err = fmt.Errorf("sched: unknown dispatch kind %d", d.Kind)
 			}
@@ -175,6 +197,22 @@ func RunSequential(c *Circuit, ev *tfhe.Evaluator, inputs []tfhe.LWECiphertext) 
 		case kindLUT:
 			table := n.table
 			vals[i] = ev.EvalLUTKS(vals[n.in], n.space, func(m int) int { return table[m] })
+		case kindMultiLUT:
+			// The head sibling runs the whole group's shared rotation and
+			// assigns every sibling; non-heads were filled by their head.
+			// Circuits are parameter-agnostic, so the packing bound is
+			// checked here — as an error, matching the engine-backed
+			// Execute path for the same circuit.
+			if n.mvIdx != 0 {
+				continue
+			}
+			if err := ev.Params.ValidateMultiLUT(n.space, len(n.tables)); err != nil {
+				return nil, err
+			}
+			outs := ev.EvalMultiLUTKS(vals[n.in], n.space, tfhe.TableFuncs(n.tables))
+			for j, out := range outs {
+				vals[i+j] = out
+			}
 		default:
 			return nil, fmt.Errorf("sched: node %d has unknown kind %d", i, n.kind)
 		}
@@ -234,6 +272,20 @@ func (r *Runner) LUT(d Dispatch, in []tfhe.LWECiphertext) ([]tfhe.LWECiphertext,
 		return r.Stream.StreamLUT(in, d.Space, f), nil
 	}
 	return r.Batch.BatchEvalLUT(in, d.Space, f), nil
+}
+
+// MultiLUT implements Executor over the engines: one blind rotation per
+// group input, fanned out into the group's table outputs.
+func (r *Runner) MultiLUT(d Dispatch, in []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	stream, err := r.useStream(d)
+	if err != nil {
+		return nil, err
+	}
+	fs := tfhe.TableFuncs(d.Tables)
+	if stream {
+		return r.Stream.StreamMultiLUT(in, d.Space, fs)
+	}
+	return r.Batch.BatchMultiLUT(in, d.Space, fs)
 }
 
 // Run compiles the circuit under cfg and executes it — the one-call path

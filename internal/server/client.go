@@ -122,6 +122,27 @@ func (c *Client) LUTBatch(cts []tfhe.LWECiphertext, space int, table []int) ([]t
 	return decodeCiphertexts(resp.Out, "out")
 }
 
+// MultiLUTBatch applies k lookup tables (each length space, entries in
+// {0..space-1}) to every ciphertext on the server via multi-value PBS —
+// one blind rotation per input serves all k tables. out[i][j] is table j
+// applied to cts[i].
+func (c *Client) MultiLUTBatch(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	req := MultiLUTBatchRequest{ClientID: c.id, Space: space, Tables: tables, Cts: encodeCiphertexts(cts)}
+	var resp MultiLUTBatchResponse
+	if err := c.post("/v1/multilut-batch", req, &resp); err != nil {
+		return nil, err
+	}
+	out := make([][]tfhe.LWECiphertext, len(resp.Out))
+	for i, blobs := range resp.Out {
+		outs, err := decodeCiphertexts(blobs, "out")
+		if err != nil {
+			return nil, err
+		}
+		out[i] = outs
+	}
+	return out, nil
+}
+
 // Stats fetches the service metrics snapshot.
 func (c *Client) Stats() (Stats, error) {
 	resp, err := c.hc.Get(c.base + "/v1/stats")

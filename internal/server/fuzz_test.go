@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tfhe"
+	"repro/internal/wire"
+)
+
+// FuzzMultiLUTBatchDecode pins the multilut-batch request decoder's
+// contract: it never panics on arbitrary bytes (the body is
+// attacker-controlled), and any ciphertext it accepts is canonical under
+// the wire codec. Plain `go test` replays the f.Add seeds plus the
+// committed corpus under testdata/fuzz/ in regression mode; the nightly
+// workflow gives it a real exploration budget.
+func FuzzMultiLUTBatchDecode(f *testing.F) {
+	for _, seed := range multiLUTFuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, cts, err := parseMultiLUTBatchRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(cts) != len(req.Cts) {
+			t.Fatalf("decoded %d ciphertexts from %d blobs", len(cts), len(req.Cts))
+		}
+		for i, ct := range cts {
+			if again := wire.MarshalLWE(ct); !bytes.Equal(again, req.Cts[i]) {
+				t.Fatalf("accepted non-canonical ciphertext %d", i)
+			}
+		}
+	})
+}
+
+// multiLUTFuzzSeeds returns valid request encodings plus cheap structural
+// mutations (the committed corpus under testdata/fuzz extends these).
+func multiLUTFuzzSeeds() [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	sk, _ := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	cts := [][]byte{
+		wire.MarshalLWE(sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(1, 4), tfhe.ParamsTest.LWEStdDev)),
+		wire.MarshalLWE(sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(3, 4), tfhe.ParamsTest.LWEStdDev)),
+	}
+	valid, err := json.Marshal(MultiLUTBatchRequest{
+		ClientID: "fuzz",
+		Space:    4,
+		Tables:   [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}},
+		Cts:      cts,
+	})
+	if err != nil {
+		panic(err)
+	}
+	seeds := [][]byte{
+		valid,
+		[]byte(`{}`),
+		[]byte(`{"client_id":"x","space":4,"tables":[[0,1,2,3]],"cts":[]}`),
+		[]byte(`{"client_id":"x","space":-1,"tables":null,"cts":["AAAA"]}`),
+		[]byte(`{"unknown_field":1}`),
+		[]byte(`not json at all`),
+		{},
+		valid[:len(valid)/2],
+		append(bytes.Clone(valid), '}'),
+	}
+	if i := bytes.IndexByte(valid, '"'); i >= 0 {
+		c := bytes.Clone(valid)
+		c[i] = '\''
+		seeds = append(seeds, c)
+	}
+	return seeds
+}

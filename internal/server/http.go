@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/engine"
@@ -63,6 +64,21 @@ type LUTBatchRequest struct {
 	Cts      [][]byte `json:"cts"`   // wire-encoded LWE ciphertexts
 }
 
+// MultiLUTBatchRequest frames POST /v1/multilut-batch: k lookup tables
+// applied to every ciphertext with one blind rotation per input.
+type MultiLUTBatchRequest struct {
+	ClientID string   `json:"client_id"`
+	Space    int      `json:"space"`  // message space shared by every table
+	Tables   [][]int  `json:"tables"` // k tables, each length Space, entries in {0..Space-1}
+	Cts      [][]byte `json:"cts"`    // wire-encoded LWE ciphertexts
+}
+
+// MultiLUTBatchResponse carries the k result ciphertexts per input of a
+// multi-value batch: Out[i][j] is table j applied to input i.
+type MultiLUTBatchResponse struct {
+	Out [][][]byte `json:"out"`
+}
+
 // CircuitBatchRequest frames POST /v1/circuit-batch: a serialized sched
 // circuit plus its input ciphertexts. Node references are indices into
 // the nodes list; outputs select the wires to return.
@@ -86,16 +102,18 @@ type ErrorResponse struct {
 
 // Handler returns the HTTP API of the service:
 //
-//	POST /v1/register-key   RegisterKeyRequest   → RegisterKeyResponse
-//	POST /v1/gate-batch     GateBatchRequest     → BatchResponse
-//	POST /v1/lut-batch      LUTBatchRequest      → BatchResponse
-//	POST /v1/circuit-batch  CircuitBatchRequest  → BatchResponse
-//	GET  /v1/stats                               → Stats
+//	POST /v1/register-key    RegisterKeyRequest    → RegisterKeyResponse
+//	POST /v1/gate-batch      GateBatchRequest      → BatchResponse
+//	POST /v1/lut-batch       LUTBatchRequest       → BatchResponse
+//	POST /v1/multilut-batch  MultiLUTBatchRequest  → MultiLUTBatchResponse
+//	POST /v1/circuit-batch   CircuitBatchRequest   → BatchResponse
+//	GET  /v1/stats                                 → Stats
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register-key", s.handleRegisterKey)
 	mux.HandleFunc("POST /v1/gate-batch", s.handleGateBatch)
 	mux.HandleFunc("POST /v1/lut-batch", s.handleLUTBatch)
+	mux.HandleFunc("POST /v1/multilut-batch", s.handleMultiLUTBatch)
 	mux.HandleFunc("POST /v1/circuit-batch", s.handleCircuitBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
@@ -221,6 +239,47 @@ func (s *Server) handleLUTBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+}
+
+// parseMultiLUTBatchRequest decodes one multilut-batch request body: the
+// JSON frame (unknown fields rejected) followed by the wire decode of
+// every ciphertext. It performs no session-dependent validation — space,
+// table, and dimension checks need the session's parameter set and happen
+// in MultiLUTBatch — but it must never panic on arbitrary bytes: the
+// body is attacker-controlled, and this helper is the fuzzing surface of
+// the endpoint.
+func parseMultiLUTBatchRequest(r io.Reader) (MultiLUTBatchRequest, []tfhe.LWECiphertext, error) {
+	var req MultiLUTBatchRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return MultiLUTBatchRequest{}, nil, fmt.Errorf("server: bad multilut-batch request: %w", err)
+	}
+	cts, err := decodeCiphertexts(req.Cts, "cts")
+	if err != nil {
+		return MultiLUTBatchRequest{}, nil, err
+	}
+	return req, cts, nil
+}
+
+// handleMultiLUTBatch decodes, evaluates, and re-encodes one multi-value
+// LUT batch.
+func (s *Server) handleMultiLUTBatch(w http.ResponseWriter, r *http.Request) {
+	req, cts, err := parseMultiLUTBatchRequest(http.MaxBytesReader(w, r.Body, MaxBatchBodyBytes))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.MultiLUTBatch(req.ClientID, cts, req.Space, req.Tables)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := MultiLUTBatchResponse{Out: make([][][]byte, len(out))}
+	for i, outs := range out {
+		resp.Out[i] = encodeCiphertexts(outs)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleCircuitBatch decodes, schedules, executes, and re-encodes one

@@ -158,7 +158,7 @@ func (s *Server) GateBatch(clientID string, op engine.GateOp, a, b []tfhe.LWECip
 		return nil, nil
 	}
 	eng := sess.eng
-	return sess.submit("g:"+op.String(), a, b, func(ga, gb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return sess.submit("g:"+op.String(), a, b, 1, func(ga, gb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 		if op == engine.NOT {
 			return eng.StreamGate(op, ga, nil)
 		}
@@ -182,7 +182,7 @@ func (s *Server) LUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, 
 		return nil, nil
 	}
 	eng := sess.eng
-	return sess.submit(lutKey(space, table), cts, nil, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return sess.submit(lutKey(space, table), cts, nil, 1, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 		return eng.StreamLUT(ga, space, func(m int) int { return table[m] }), nil
 	})
 }
@@ -191,6 +191,65 @@ func (s *Server) LUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, 
 // the whole table is identical.
 func lutKey(space int, table []int) string {
 	return fmt.Sprintf("l:%d:%v", space, table)
+}
+
+// multiLUTKey is the coalescing key of a multi-value LUT request: streams
+// merge only when the whole table list is identical, so every request of
+// a group shares one packed test vector and fan-out k.
+func multiLUTKey(space int, tables [][]int) string {
+	return fmt.Sprintf("m:%d:%v", space, tables)
+}
+
+// runMultiLUT streams one coalesced multi-value batch and flattens the
+// per-input output groups input-major, the layout submit scatters.
+func runMultiLUT(eng *engine.StreamingEngine, cts []tfhe.LWECiphertext, space int, tables [][]int) ([]tfhe.LWECiphertext, error) {
+	groups, err := eng.StreamMultiLUT(cts, space, tfhe.TableFuncs(tables))
+	if err != nil {
+		return nil, err
+	}
+	flat := make([]tfhe.LWECiphertext, 0, len(cts)*len(tables))
+	for _, outs := range groups {
+		flat = append(flat, outs...)
+	}
+	return flat, nil
+}
+
+// regroup splits a flat input-major output slice back into k outputs per
+// input.
+func regroup(flat []tfhe.LWECiphertext, k int) [][]tfhe.LWECiphertext {
+	out := make([][]tfhe.LWECiphertext, len(flat)/k)
+	for g := range out {
+		out[g] = flat[g*k : (g+1)*k : (g+1)*k]
+	}
+	return out
+}
+
+// MultiLUTBatch applies the k lookup tables (each length space, entries
+// in {0..space-1}) to every ciphertext on clientID's session via
+// multi-value PBS: one blind rotation per input ciphertext serves all k
+// tables, and out[i][j] is table j applied to cts[i]. Concurrent calls
+// with an identical table list — the scheduler's fan-out shape — may be
+// coalesced into one engine stream.
+func (s *Server) MultiLUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	sess, err := s.session(clientID)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.validateMultiLUT(cts, space, tables, s.cfg.MaxBatch); err != nil {
+		return nil, err
+	}
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	eng := sess.eng
+	k := len(tables)
+	flat, err := sess.submit(multiLUTKey(space, tables), cts, nil, k, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+		return runMultiLUT(eng, ga, space, tables)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return regroup(flat, k), nil
 }
 
 // CircuitBatch compiles a levelized schedule for the circuit described by
@@ -221,7 +280,7 @@ type sessionExecutor struct {
 // Gate implements sched.Executor over the session.
 func (x sessionExecutor) Gate(d sched.Dispatch, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	eng := x.sess.eng
-	return x.sess.submit("g:"+d.Op.String(), a, b, func(ga, gb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return x.sess.submit("g:"+d.Op.String(), a, b, 1, func(ga, gb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 		return eng.StreamGate(d.Op, ga, gb)
 	})
 }
@@ -230,9 +289,25 @@ func (x sessionExecutor) Gate(d sched.Dispatch, a, b []tfhe.LWECiphertext) ([]tf
 func (x sessionExecutor) LUT(d sched.Dispatch, in []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	eng := x.sess.eng
 	table := d.Table
-	return x.sess.submit(lutKey(d.Space, d.Table), in, nil, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return x.sess.submit(lutKey(d.Space, d.Table), in, nil, 1, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 		return eng.StreamLUT(ga, d.Space, func(m int) int { return table[m] }), nil
 	})
+}
+
+// MultiLUT implements sched.Executor over the session: multi-value
+// circuit dispatches share coalescing keys with standalone multilut-batch
+// traffic, so scheduler fan-out and direct requests merge into the same
+// packed streams.
+func (x sessionExecutor) MultiLUT(d sched.Dispatch, in []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	eng := x.sess.eng
+	k := len(d.Tables)
+	flat, err := x.sess.submit(multiLUTKey(d.Space, d.Tables), in, nil, k, func(ga, _ []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+		return runMultiLUT(eng, ga, d.Space, d.Tables)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return regroup(flat, k), nil
 }
 
 // SessionStats is one session's metrics snapshot.

@@ -81,8 +81,11 @@ type groupResult struct {
 
 // submit runs (a, b) through the session's engine under the coalescing
 // protocol. Requests with equal keys that arrive while the engine is busy
-// are merged into one stream; run receives the concatenated operands. The
-// caller's slice of the stream output is returned in request order.
+// are merged into one stream; run receives the concatenated operands and
+// must return outPerIn outputs per input, input-major (1 for gates and
+// LUTs, the table count for multi-value LUTs — equal keys imply equal
+// fan-out). The caller's slice of the stream output is returned in
+// request order.
 //
 // The protocol is group-commit: the first request to open a group for a
 // key is its leader. The leader queues for the engine (execMu); while it
@@ -90,7 +93,7 @@ type groupResult struct {
 // leader acquires the engine it seals the group (removing it from the
 // map, so later arrivals open a fresh group behind it), runs one stream
 // over the whole batch, and scatters results to every waiter.
-func (s *session) submit(key string, a, b []tfhe.LWECiphertext, run func(a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)) ([]tfhe.LWECiphertext, error) {
+func (s *session) submit(key string, a, b []tfhe.LWECiphertext, outPerIn int, run func(a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)) ([]tfhe.LWECiphertext, error) {
 	// Backpressure: block until the session has room for this request.
 	s.slots <- struct{}{}
 	defer func() { <-s.slots }()
@@ -138,15 +141,16 @@ func (s *session) submit(key string, a, b []tfhe.LWECiphertext, run func(a, b []
 		if len(waiters) > 1 {
 			s.coalesced.Add(int64(len(waiters)))
 		}
-		if err == nil && len(out) != len(ga) {
-			err = fmt.Errorf("server: engine returned %d outputs for %d inputs", len(out), len(ga))
+		if err == nil && len(out) != len(ga)*outPerIn {
+			err = fmt.Errorf("server: engine returned %d outputs for %d inputs (want %d per input)", len(out), len(ga), outPerIn)
 		}
 		for _, wt := range waiters {
 			if err != nil {
 				wt.ch <- groupResult{err: err}
 				continue
 			}
-			wt.ch <- groupResult{out: out[wt.off : wt.off+wt.n : wt.off+wt.n]}
+			lo, hi := wt.off*outPerIn, (wt.off+wt.n)*outPerIn
+			wt.ch <- groupResult{out: out[lo:hi:hi]}
 		}
 	}
 
@@ -217,6 +221,38 @@ func (s *session) validateLUT(cts []tfhe.LWECiphertext, space int, table []int, 
 	return nil
 }
 
+// validateMultiLUT rejects malformed multi-value LUT requests before they
+// can join a coalescing group. The response carries k outputs per input,
+// so the amplified total — not the input count — is held to the batch
+// bound.
+func (s *session) validateMultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int, maxBatch int) error {
+	fail := func(err error) error {
+		s.rejected.Add(1)
+		return err
+	}
+	k := len(tables)
+	if err := s.params.ValidateMultiLUT(space, k); err != nil {
+		return fail(err)
+	}
+	if len(cts)*k > maxBatch {
+		return fail(fmt.Errorf("%w: %d inputs × %d tables > %d", ErrBatchTooLarge, len(cts), k, maxBatch))
+	}
+	for ti, table := range tables {
+		if len(table) != space {
+			return fail(fmt.Errorf("server: multi-value table %d has %d entries, want %d", ti, len(table), space))
+		}
+		for i, v := range table {
+			if v < 0 || v >= space {
+				return fail(fmt.Errorf("server: multi-value table %d entry %d = %d outside {0..%d}", ti, i, v, space-1))
+			}
+		}
+	}
+	if err := s.checkDims(cts); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
 // validateCircuit rejects malformed circuit-batch requests and compiles
 // the accepted ones. The circuit is rebuilt through the sched builder (so
 // references, ops, and tables are fully validated against untrusted
@@ -261,6 +297,11 @@ func (s *session) validateCircuit(specs []sched.NodeSpec, outputs []int, inputs 
 			}
 			if d.Kind == sched.DispatchLUT && d.Space > s.params.N {
 				return fail(fmt.Errorf("server: LUT space %d out of range [2, %d]", d.Space, s.params.N))
+			}
+			if d.Kind == sched.DispatchMultiLUT {
+				if err := s.params.ValidateMultiLUT(d.Space, len(d.Tables)); err != nil {
+					return fail(err)
+				}
 			}
 		}
 	}

@@ -21,6 +21,13 @@ type OpCounters struct {
 	KSDecompScalar int64 // scalar decompositions in keyswitching
 	KSMACs         int64 // scalar multiply-accumulates in keyswitching
 	LinearOps      int64 // homomorphic additions/subtractions of LWE
+
+	// Multi-value PBS: blind rotations that served several LUT outputs
+	// (each also counts once in PBSCount) and the outputs they fanned out.
+	// MultiValueOuts − MultiValuePBS is the number of rotations saved
+	// versus evaluating every output with its own PBS.
+	MultiValuePBS  int64
+	MultiValueOuts int64
 }
 
 // Add accumulates other into c.
@@ -38,6 +45,8 @@ func (c *OpCounters) Add(other OpCounters) {
 	c.KSDecompScalar += other.KSDecompScalar
 	c.KSMACs += other.KSMACs
 	c.LinearOps += other.LinearOps
+	c.MultiValuePBS += other.MultiValuePBS
+	c.MultiValueOuts += other.MultiValueOuts
 }
 
 // Reset zeroes all counters.

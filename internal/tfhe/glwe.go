@@ -1,6 +1,7 @@
 package tfhe
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/fft"
@@ -148,15 +149,30 @@ func (k GLWEKey) ExtractLWEKey() LWEKey {
 // SampleExtract extracts coefficient 0 of the message as an LWE ciphertext
 // of dimension k·N under ExtractLWEKey — Algorithm 1 line 13.
 func SampleExtract(c GLWECiphertext) LWECiphertext {
+	return SampleExtractAt(c, 0)
+}
+
+// SampleExtractAt extracts coefficient t of the message as an LWE
+// ciphertext of dimension k·N under ExtractLWEKey. Coefficient t of
+// A_i·S_i is Σ_{j≤t} A_i[t−j]·S_i[j] − Σ_{j>t} A_i[N+t−j]·S_i[j]
+// (negacyclic wraparound), which fixes the mask layout below. t = 0 is
+// the classic SampleExtract; multi-value PBS reads one output per packed
+// subslot at the offsets of Params.MultiLUTOffsets.
+func SampleExtractAt(c GLWECiphertext, t int) LWECiphertext {
 	k, n := c.K(), c.PolyN()
+	if t < 0 || t >= n {
+		panic(fmt.Sprintf("tfhe: SampleExtractAt offset %d outside [0,%d)", t, n))
+	}
 	out := NewLWECiphertext(k * n)
 	for i := 0; i < k; i++ {
 		a := c.Polys[i]
-		out.A[i*n] = a.Coeffs[0]
-		for j := 1; j < n; j++ {
-			out.A[i*n+j] = -a.Coeffs[n-j]
+		for j := 0; j <= t; j++ {
+			out.A[i*n+j] = a.Coeffs[t-j]
+		}
+		for j := t + 1; j < n; j++ {
+			out.A[i*n+j] = -a.Coeffs[n+t-j]
 		}
 	}
-	out.B = c.Body().Coeffs[0]
+	out.B = c.Body().Coeffs[t]
 	return out
 }

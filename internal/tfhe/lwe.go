@@ -29,6 +29,22 @@ func (c LWECiphertext) Copy() LWECiphertext {
 	return out
 }
 
+// EqualLWE reports whether two ciphertexts are bitwise identical — the
+// relation the engines', scheduler's, and gate service's determinism
+// contracts are stated in (server-side TFHE is deterministic, so every
+// execution backend must reproduce the sequential evaluator exactly).
+func EqualLWE(a, b LWECiphertext) bool {
+	if a.N() != b.N() || a.B != b.B {
+		return false
+	}
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // AddTo sets c += d (homomorphic addition).
 func (c *LWECiphertext) AddTo(d LWECiphertext) {
 	for i := range c.A {

@@ -87,3 +87,20 @@ func (e *Evaluator) Extract(acc GLWECiphertext) LWECiphertext {
 	e.Counters.PBSCount++
 	return out
 }
+
+// ExtractMulti runs the multi-value sample-extraction stage: one rotated
+// accumulator yields one LWE ciphertext per offset (MultiLUTOffsets). It
+// closes out a single PBS — the rotation was paid once — while fanning
+// out len(offsets) outputs; the streaming engine places it where the
+// plain Extract stage sits.
+func (e *Evaluator) ExtractMulti(acc GLWECiphertext, offsets []int) []LWECiphertext {
+	outs := make([]LWECiphertext, len(offsets))
+	for i, t := range offsets {
+		outs[i] = SampleExtractAt(acc, t)
+	}
+	e.Counters.SampleExtracts += int64(len(offsets))
+	e.Counters.PBSCount++
+	e.Counters.MultiValuePBS++
+	e.Counters.MultiValueOuts += int64(len(offsets))
+	return outs
+}

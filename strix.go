@@ -185,6 +185,31 @@ func (c *FHEContext) StreamLUT(cts []tfhe.LWECiphertext, space int, f func(int) 
 	return c.StreamEngine().StreamLUT(cts, space, f)
 }
 
+// EvalMultiLUT applies k lookup functions (each on {0..space-1}) to one
+// encrypted message with a single multi-value bootstrap: the k tables
+// pack into one test vector, one blind rotation serves them all, and
+// out[j] is fs[j](m) at dimension n (keyswitched). Packing requires
+// space·k ≤ N and shrinks the noise margin to 1/(4·space·k); with one
+// table the result is bitwise identical to a plain LUT evaluation.
+func (c *FHEContext) EvalMultiLUT(ct tfhe.LWECiphertext, space int, fs ...func(int) int) []tfhe.LWECiphertext {
+	return c.Eval.EvalMultiLUTKS(ct, space, fs)
+}
+
+// BatchMultiLUT applies k lookup functions to every ciphertext on the
+// default engine — one multi-value bootstrap per item, out[i][j] =
+// fs[j](m_i).
+func (c *FHEContext) BatchMultiLUT(cts []tfhe.LWECiphertext, space int, fs ...func(int) int) ([][]tfhe.LWECiphertext, error) {
+	return c.Engine().BatchMultiLUT(cts, space, fs)
+}
+
+// StreamMultiLUT applies k lookup functions to every ciphertext on the
+// default streaming pipeline: the packed test vector is encoded once for
+// the stream, and the extract stage fans each rotation out into k fused
+// PBS→KS outputs.
+func (c *FHEContext) StreamMultiLUT(cts []tfhe.LWECiphertext, space int, fs ...func(int) int) ([][]tfhe.LWECiphertext, error) {
+	return c.StreamEngine().StreamMultiLUT(cts, space, fs)
+}
+
 // EncryptBools encrypts a slice of booleans (±1/8 gate encoding).
 func (c *FHEContext) EncryptBools(bs []bool) []tfhe.LWECiphertext {
 	cts := make([]tfhe.LWECiphertext, len(bs))

@@ -253,3 +253,65 @@ func TestFHEContextRunCircuit(t *testing.T) {
 		}
 	}
 }
+
+func TestFHEContextMultiLUT(t *testing.T) {
+	ctx, err := NewFHEContext("test", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const space = 4
+	double := func(x int) int { return (2 * x) % space }
+	inc := func(x int) int { return (x + 1) % space }
+
+	// Sequential facade: one rotation, two outputs.
+	ct := ctx.EncryptInt(3, space)
+	outs := ctx.EvalMultiLUT(ct, space, double, inc)
+	if got := ctx.DecryptInt(outs[0], space); got != double(3) {
+		t.Errorf("EvalMultiLUT[0](3) = %d, want %d", got, double(3))
+	}
+	if got := ctx.DecryptInt(outs[1], space); got != inc(3) {
+		t.Errorf("EvalMultiLUT[1](3) = %d, want %d", got, inc(3))
+	}
+
+	// Batch and stream facades must match the sequential path bitwise.
+	cts := []tfhe.LWECiphertext{ctx.EncryptInt(1, space), ctx.EncryptInt(2, space)}
+	want := [][]tfhe.LWECiphertext{
+		ctx.EvalMultiLUT(cts[0], space, double, inc),
+		ctx.EvalMultiLUT(cts[1], space, double, inc),
+	}
+	batch, err := ctx.BatchMultiLUT(cts, space, double, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ctx.StreamMultiLUT(cts, space, double, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if !tfhe.EqualLWE(batch[i][j], want[i][j]) || !tfhe.EqualLWE(stream[i][j], want[i][j]) {
+				t.Fatalf("engine multi-LUT output [%d][%d] differs from sequential", i, j)
+			}
+		}
+	}
+
+	// The circuit builder's multi-value group goes through the scheduler.
+	b := NewCircuitBuilder()
+	in := b.Input()
+	ws := b.MultiLUTFunc(in, space, double, inc)
+	b.Output(ws...)
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.RunCircuit(circ, []tfhe.LWECiphertext{ctx.EncryptInt(2, space)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 := ctx.DecryptInt(got[0], space); d0 != double(2) {
+		t.Errorf("circuit MultiLUT output 0 = %d, want %d", d0, double(2))
+	}
+	if d1 := ctx.DecryptInt(got[1], space); d1 != inc(2) {
+		t.Errorf("circuit MultiLUT output 1 = %d, want %d", d1, inc(2))
+	}
+}
