@@ -14,7 +14,7 @@ COVER_FLOOR ?= 72.0
 # engines, the circuit scheduler, and multi-value PBS. benchjson derives
 # the CI-gated machine-portable ratios from these, so the regexp must
 # keep matching every benchmark cmd/benchjson's gatedRatios table names.
-BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT
+BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore
 # Allowed fractional regression of a gated ratio before the perf CI job
 # fails (see cmd/benchjson).
 BENCH_TOLERANCE = 0.25

@@ -22,6 +22,7 @@ import (
 	"repro/internal/intops"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -434,6 +435,59 @@ func BenchmarkCircuitMul(b *testing.B) {
 			b.ReportMetric(float64(b.N)*pbs/b.Elapsed().Seconds(), "PBS/s")
 		})
 	}
+}
+
+// BenchmarkSessionRestore measures cold-start session recovery: a gate
+// service whose warm tier is empty restores a persisted session from the
+// durable store (blob fetch + CRC verify + eval-key decode + engine
+// build) and serves one unary gate. The mem sub-benchmark isolates the
+// decode/build cost; disk adds the file I/O and checksum path, and the
+// disk/mem ratio is gated in CI (cmd/benchjson) so the storage layer
+// cannot silently dominate recovery.
+func BenchmarkSessionRestore(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	blob, err := wire.MarshalEvalKey(ek)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := sk.EncryptBool(rng, true)
+	const id = "bench-restore"
+
+	run := func(b *testing.B, store SessionStore) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			// A fresh service has an empty warm tier, so the first
+			// request for the session takes the restore path.
+			srv := NewGateService(ServiceConfig{Store: store})
+			if _, err := srv.GateBatch(id, engine.NOT, []tfhe.LWECiphertext{ct}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+	}
+
+	b.Run("mem", func(b *testing.B) {
+		store := NewMemStore()
+		if err := store.Put(id, tfhe.ParamsTest, blob); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, store)
+	})
+
+	b.Run("disk", func(b *testing.B) {
+		store, err := OpenDiskStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close()
+		if err := store.Put(id, tfhe.ParamsTest, blob); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, store)
+	})
 }
 
 // BenchmarkAllExperiments regenerates the entire evaluation section.

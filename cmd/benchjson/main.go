@@ -81,6 +81,12 @@ var gatedRatios = []gatedRatio{
 	// rotation instead of four — so it holds on a single core; measured
 	// values sit near 3–4×).
 	{name: "multilut_vs_klut", num: "BenchmarkMultiLUT/k=4", den: "BenchmarkMultiLUT/k=1", unit: "LUT/s", min: 1.5},
+	// The PR-6 durability claim: restoring a session from the on-disk
+	// store (file read + CRC verify on a ~2 MB test-parameter key) must
+	// stay within 4× of the pure decode+engine-build cost measured by
+	// the in-memory store. The floor is deliberately loose — it catches
+	// an fsync-on-read or per-request reopen regression, not disk speed.
+	{name: "restore_disk_vs_mem", num: "BenchmarkSessionRestore/disk", den: "BenchmarkSessionRestore/mem", unit: "sessions/s", min: 0.25},
 }
 
 // metricOf returns a benchmark metric, accepting gates/s as an alias for

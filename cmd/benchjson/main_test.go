@@ -23,6 +23,8 @@ BenchmarkCircuitMul/sched-wmax-8   	       5	  20000000 ns/op	       950.0 PBS/s
 BenchmarkMultiLUT/k=1-8            	       5	   5000000 ns/op	       200.0 LUT/s
 BenchmarkMultiLUT/k=2-8            	       5	   5200000 ns/op	       385.0 LUT/s
 BenchmarkMultiLUT/k=4-8            	       5	   5500000 ns/op	       727.0 LUT/s
+BenchmarkSessionRestore/mem-8      	       5	   1600000 ns/op	       625.0 sessions/s
+BenchmarkSessionRestore/disk-8     	       5	   2000000 ns/op	       500.0 sessions/s
 PASS
 ok  	repro	12.3s
 `
@@ -47,6 +49,9 @@ func TestParseBench(t *testing.T) {
 	if got := f.Gated["multilut_vs_klut"]; got != 727.0/200.0 {
 		t.Errorf("multilut ratio = %v, want %v", got, 727.0/200.0)
 	}
+	if got := f.Gated["restore_disk_vs_mem"]; got != 500.0/625.0 {
+		t.Errorf("restore ratio = %v, want %v", got, 500.0/625.0)
+	}
 }
 
 func TestParseBenchMissingGateBenchmark(t *testing.T) {
@@ -70,7 +75,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A regressed ratio inside the band passes, outside it fails.
 	regressed := *base
-	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6}
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8}
 	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
 		t.Errorf("20%% regression inside 25%% band failed: %v", err)
 	}
@@ -79,7 +84,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A gate missing from the current run fails.
 	missing := *base
-	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6}
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8}
 	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
 		t.Error("gate missing from current run passed")
 	}
@@ -119,16 +124,23 @@ func TestCompareAbsoluteFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	low := *base
-	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4}
+	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8}
 	// 1.4 is within 25% of the 3.635 baseline? No — but force the band
 	// wide enough that only the absolute floor can catch it.
 	if err := compare(base, &low, 0.99, os.Stderr); err == nil {
 		t.Error("multilut ratio below the 1.5 absolute floor passed")
 	}
 	ok := *base
-	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6}
+	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8}
 	if err := compare(base, &ok, 0.99, os.Stderr); err != nil {
 		t.Errorf("multilut ratio above the absolute floor failed: %v", err)
+	}
+	// The restore floor (0.25) is absolute too: a disk path that
+	// collapses below it fails even inside a wide tolerance band.
+	slow := *base
+	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2}
+	if err := compare(base, &slow, 0.99, os.Stderr); err == nil {
+		t.Error("restore ratio below the 0.25 absolute floor passed")
 	}
 }
 
@@ -142,7 +154,7 @@ func TestSmoke(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
-	cmdtest.WantSubstrings(t, out, "wrote", "3 gated ratios")
+	cmdtest.WantSubstrings(t, out, "wrote", "4 gated ratios")
 
 	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
 	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut")

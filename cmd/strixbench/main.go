@@ -18,6 +18,7 @@
 //	strixbench -circuit 4              # scheduled vs sequential multiply PBS/s
 //	strixbench -circuit 4 -parallel 8  # ... with explicit engine widths
 //	strixbench -multilut 4             # multi-value PBS vs 4 independent LUTs
+//	strixbench -restore 4              # cold-start session restore latency
 package main
 
 import (
@@ -372,6 +373,134 @@ func runMultiLUT(set string, k, workers int) error {
 // sameLWE compares two LWE ciphertexts bitwise.
 func sameLWE(a, b tfhe.LWECiphertext) bool { return tfhe.EqualLWE(a, b) }
 
+// runRestore measures cold-start session restore: sessions are
+// registered against a durable gate service, the service is drained and
+// a fresh one is opened over the same data directory (the crash/restart
+// path strixserv -data takes on SIGTERM), and the first post-restart
+// batch per session is timed — disk read + checksum + key decode +
+// engine rebuild, amortized over the batch. Post-restart outputs are
+// verified bitwise against the pre-restart ones, the durability
+// contract.
+func runRestore(set string, sessions, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	if sessions < 1 {
+		return fmt.Errorf("-restore session count must be >= 1, got %d", sessions)
+	}
+	const gates = 8
+
+	dir, err := os.MkdirTemp("", "strixbench-restore-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("restore mode: set %s, %d sessions x %d gates, data dir %s\n", p.Name, sessions, gates, dir)
+
+	serveOnce := func() (string, chan<- struct{}, <-chan error, error) {
+		srv, err := strix.OpenGateService(strix.ServiceConfig{
+			DataDir: dir,
+			Stream:  engine.StreamConfig{RotateWorkers: workers},
+		})
+		if err != nil {
+			return "", nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		drain := make(chan struct{})
+		done := make(chan error, 1)
+		go func() { done <- strix.ServeDrain(l, srv, drain) }()
+		return "http://" + l.Addr().String(), drain, done, nil
+	}
+
+	type clientState struct {
+		id   string
+		a, b []tfhe.LWECiphertext
+		pre  []tfhe.LWECiphertext // pre-restart outputs, the bitwise oracle
+	}
+
+	fmt.Print("registering sessions + evaluating pre-restart batches... ")
+	start := time.Now()
+	base, drain, done, err := serveOnce()
+	if err != nil {
+		return err
+	}
+	states := make([]*clientState, sessions)
+	for i := range states {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		sk, ek := tfhe.GenerateKeys(rng, p)
+		st := &clientState{id: fmt.Sprintf("restore-client-%d", i)}
+		cl := strix.Dial(base, st.id)
+		if err := cl.RegisterKey(ek); err != nil {
+			return err
+		}
+		st.a = make([]tfhe.LWECiphertext, gates)
+		st.b = make([]tfhe.LWECiphertext, gates)
+		for g := 0; g < gates; g++ {
+			st.a[g] = sk.EncryptBool(rng, (i+g)%2 == 0)
+			st.b[g] = sk.EncryptBool(rng, (g%3) == 0)
+		}
+		out, err := cl.GateBatch(engine.NAND, st.a, st.b)
+		if err != nil {
+			return err
+		}
+		st.pre = out
+		states[i] = st
+	}
+	close(drain)
+	if err := <-done; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	// Restart over the same data directory: every first request restores
+	// its session from the store.
+	base, drain, done, err = serveOnce()
+	if err != nil {
+		return err
+	}
+	defer func() { close(drain); <-done }()
+
+	start = time.Now()
+	for _, st := range states {
+		cl := strix.Dial(base, st.id)
+		out, err := cl.GateBatch(engine.NAND, st.a, st.b)
+		if err != nil {
+			return fmt.Errorf("post-restart batch for %s: %w", st.id, err)
+		}
+		for g := range out {
+			if !sameLWE(out[g], st.pre[g]) {
+				return fmt.Errorf("session %s gate %d: post-restart output differs from pre-restart", st.id, g)
+			}
+		}
+	}
+	cold := time.Since(start)
+
+	// Warm pass: same sessions, now resident — isolates the restore cost.
+	start = time.Now()
+	for _, st := range states {
+		cl := strix.Dial(base, st.id)
+		if _, err := cl.GateBatch(engine.NAND, st.a, st.b); err != nil {
+			return err
+		}
+	}
+	warm := time.Since(start)
+
+	coldPer := cold / time.Duration(sessions)
+	warmPer := warm / time.Duration(sessions)
+	fmt.Printf("cold     : %d sessions restored+evaluated in %v  =  %v/session  (%.1f sessions/s)\n",
+		sessions, cold.Round(time.Millisecond), coldPer.Round(time.Microsecond), float64(sessions)/cold.Seconds())
+	fmt.Printf("warm     : same batches resident in %v  =  %v/session\n",
+		warm.Round(time.Millisecond), warmPer.Round(time.Microsecond))
+	fmt.Printf("restore  : ~%v/session overhead (disk read + checksum + key decode + engine build)\n",
+		(coldPer - warmPer).Round(time.Microsecond))
+	fmt.Printf("verified : post-restart outputs bitwise identical to pre-restart, no key re-upload\n")
+	return nil
+}
+
 // runCircuit measures the levelizing circuit scheduler against the
 // unscheduled per-gate path on a multi-digit encrypted multiply — the
 // carry-chain workload whose partial products give the scheduler wide
@@ -491,6 +620,7 @@ func main() {
 	circuit := flag.Int("circuit", 0, "circuit scheduler mode: multiply digit count (enables the mode)")
 	multilut := flag.Int("multilut", 0, "multi-value PBS mode: LUT outputs per blind rotation (enables the mode)")
 	serve := flag.Bool("serve", false, "gate service mode: end-to-end PBS/s through an HTTP server")
+	restore := flag.Int("restore", 0, "durable restart mode: session count for cold-start restore latency (enables the mode)")
 	clients := flag.Int("clients", 4, "serve mode: concurrent client sessions")
 	gates := flag.Int("gates", 64, "serve mode: gates per client batch")
 	parallel := flag.Int("parallel", 0, "batch/stream/serve mode: worker count (0 = NumCPU)")
@@ -505,14 +635,22 @@ func main() {
 	}
 
 	modes := 0
-	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *serve} {
+	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *serve, *restore != 0} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, and -serve are mutually exclusive; run them separately")
+		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, -serve, and -restore are mutually exclusive; run them separately")
 		os.Exit(1)
+	}
+
+	if *restore != 0 {
+		if err := runRestore(*set, *restore, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *serve {

@@ -6,15 +6,26 @@
 // secret keys and upload only evaluation keys and ciphertexts; the server
 // computes blindly. Endpoints (JSON frames, base64 binary fields):
 //
-//	POST /v1/register-key   upload a client's evaluation keys
-//	POST /v1/gate-batch     evaluate a boolean gate over ciphertext pairs
-//	POST /v1/lut-batch      apply a lookup table via PBS + keyswitch
-//	GET  /v1/stats          per-session metrics (requests, streams, op mix)
+//	POST   /v1/register-key        upload a client's evaluation keys
+//	POST   /v1/gate-batch          evaluate a boolean gate over ciphertext pairs
+//	POST   /v1/lut-batch           apply a lookup table via PBS + keyswitch
+//	GET    /v1/stats               per-session metrics (requests, streams, op mix)
+//	GET    /v1/healthz             readiness (503 once draining)
+//	GET    /v1/sessions            live sessions across warm and durable tiers
+//	DELETE /v1/sessions/{id}       evict a session everywhere
+//
+// With -data, registered evaluation keys are persisted to a crash-safe
+// on-disk store (wire-codec key files plus a checksummed write-ahead
+// log). A restarted server pointed at the same directory serves its old
+// sessions again — bitwise-identical results, no key re-upload — and
+// SIGINT/SIGTERM trigger a graceful drain: in-flight batches finish and
+// the store is flushed before the process exits.
 //
 // Usage:
 //
-//	strixserv                        # listen on :8475
+//	strixserv                        # listen on :8475, in-memory sessions
 //	strixserv -addr 127.0.0.1:0      # ephemeral port (printed on stdout)
+//	strixserv -data /var/lib/strix   # durable sessions, graceful drain
 //	strixserv -max-sessions 128 -rotate-workers 8
 package main
 
@@ -33,6 +44,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8475", "listen address (host:port; port 0 picks one)")
+	dataDir := flag.String("data", "", "directory for durable session keys (empty = in-memory only)")
 	maxSessions := flag.Int("max-sessions", 0, "LRU bound on cached client sessions (0 = default 64)")
 	maxPending := flag.Int("max-pending", 0, "per-session backpressure bound (0 = default 64)")
 	maxBatch := flag.Int("max-batch", 0, "max ciphertexts per request (0 = default 4096)")
@@ -41,16 +53,21 @@ func main() {
 	ksWorkers := flag.Int("ks-workers", 0, "keyswitch workers per session engine (0 = rotate/4)")
 	flag.Parse()
 
-	srv := strix.NewGateService(strix.ServiceConfig{
+	srv, err := strix.OpenGateService(strix.ServiceConfig{
 		MaxSessions: *maxSessions,
 		MaxPending:  *maxPending,
 		MaxBatch:    *maxBatch,
 		MaxCoalesce: *maxCoalesce,
+		DataDir:     *dataDir,
 		Stream: engine.StreamConfig{
 			RotateWorkers: *rotateWorkers,
 			KSWorkers:     *ksWorkers,
 		},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strixserv:", err)
+		os.Exit(1)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -59,18 +76,20 @@ func main() {
 	}
 	fmt.Printf("strixserv: listening on %s\n", l.Addr())
 
-	// Close the listener on SIGINT/SIGTERM; Serve then returns and the
-	// process exits cleanly (in-flight handlers finish with the process).
+	// SIGINT/SIGTERM trigger a graceful drain: stop admitting work, let
+	// in-flight batches finish, flush and close the session store.
+	drain := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
-		fmt.Println("strixserv: shutting down")
-		l.Close()
+		fmt.Println("strixserv: draining")
+		close(drain)
 	}()
 
-	if err := strix.Serve(l, srv); err != nil && !errors.Is(err, net.ErrClosed) {
+	if err := strix.ServeDrain(l, srv, drain); err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintln(os.Stderr, "strixserv:", err)
 		os.Exit(1)
 	}
+	fmt.Println("strixserv: drained, exiting")
 }

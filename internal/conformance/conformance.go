@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"os"
 
 	"repro/internal/engine"
 	"repro/internal/sched"
@@ -35,15 +36,18 @@ func EqualLWE(a, b tfhe.LWECiphertext) bool {
 	return tfhe.EqualLWE(a, b)
 }
 
-// Fixture bundles one deterministic key set with all five backends wired
-// to it, including a live in-process gate service. Close releases the
-// service.
+// Fixture bundles one deterministic key set with all six backends wired
+// to it, including a live in-process gate service and a second service
+// restored from a drained durable store. Close releases both services
+// and the store directory.
 type Fixture struct {
 	SK tfhe.SecretKeys
 	EK tfhe.EvaluationKeys
 
 	backends []Backend
 	ts       *httptest.Server
+	tsRest   *httptest.Server
+	dir      string
 }
 
 // NewFixture generates keys for the test parameter set from seed and
@@ -57,9 +61,41 @@ func NewFixture(seed int64) (*Fixture, error) {
 	f.ts = httptest.NewServer(srv.Handler())
 	cl := server.Dial(f.ts.URL, "conformance")
 	if err := cl.RegisterKey(ek); err != nil {
-		f.ts.Close()
+		f.Close()
 		return nil, err
 	}
+
+	// Restored-server backend: the same keys registered against a
+	// durable server, drained to disk, and served by a fresh server over
+	// the same directory — the strixserv -data restart path. Its session
+	// is rebuilt from persisted bytes, never re-registered, so this
+	// backend pins crash recovery to the bitwise contract.
+	dir, err := os.MkdirTemp("", "strix-conformance-")
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.dir = dir
+	pre, err := server.Open(server.Config{DataDir: dir, Stream: engine.StreamConfig{RotateWorkers: 2}})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := pre.RegisterKey("conformance", ek); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := pre.Drain(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	restored, err := server.Open(server.Config{DataDir: dir, Stream: engine.StreamConfig{RotateWorkers: 2}})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.tsRest = httptest.NewServer(restored.Handler())
+	clRest := server.Dial(f.tsRest.URL, "conformance")
 
 	batch := engine.New(ek, engine.Config{Workers: 2, ChunkSize: 1})
 	stream := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: 2, KSWorkers: 2})
@@ -69,16 +105,28 @@ func NewFixture(seed int64) (*Fixture, error) {
 		streamBackend{eng: stream},
 		schedBackend{r: &sched.Runner{Batch: batch, Stream: stream}},
 		serverBackend{cl: cl},
+		restoredBackend{serverBackend{cl: clRest}},
 	}
 	return f, nil
 }
 
-// Backends returns the five backends; index 0 is the sequential
+// Backends returns the six backends; index 0 is the sequential
 // reference every other backend must match bitwise.
 func (f *Fixture) Backends() []Backend { return f.backends }
 
-// Close shuts the in-process gate service down.
-func (f *Fixture) Close() { f.ts.Close() }
+// Close shuts both in-process gate services down and removes the
+// durable store directory.
+func (f *Fixture) Close() {
+	if f.ts != nil {
+		f.ts.Close()
+	}
+	if f.tsRest != nil {
+		f.tsRest.Close()
+	}
+	if f.dir != "" {
+		os.RemoveAll(f.dir)
+	}
+}
 
 // seqBackend is the sequential evaluator — the bitwise reference.
 type seqBackend struct {
@@ -270,3 +318,12 @@ func (s serverBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]
 func (s serverBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	return s.cl.CircuitBatch(circ, inputs)
 }
+
+// restoredBackend is the server backend over a service whose session was
+// recovered from a drained durable store rather than registered — same
+// HTTP surface, but the evaluation keys took the disk round trip.
+type restoredBackend struct {
+	serverBackend
+}
+
+func (restoredBackend) Name() string { return "restored-server" }

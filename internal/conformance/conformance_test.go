@@ -238,10 +238,10 @@ func TestCircuitConform(t *testing.T) {
 	}
 }
 
-// TestBackendNames pins that the five backends are present, uniquely
+// TestBackendNames pins that the six backends are present, uniquely
 // named, and led by the sequential reference.
 func TestBackendNames(t *testing.T) {
-	want := []string{"sequential", "batch", "streaming", "scheduled", "server"}
+	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server"}
 	bes := fixture.Backends()
 	if len(bes) != len(want) {
 		t.Fatalf("%d backends, want %d", len(bes), len(want))

@@ -1,8 +1,10 @@
 // Package conformance cross-checks every public FHE operation — boolean
 // gates, lookup tables, multi-value lookup tables, and whole circuits —
-// across the five execution backends of the repository: the sequential
+// across the six execution backends of the repository: the sequential
 // evaluator, the flat worker-pool engine, the streaming pipeline engine,
-// the levelizing circuit scheduler, and the networked gate service.
+// the levelizing circuit scheduler, the networked gate service, and a
+// second gate service whose session was restored from a drained durable
+// store (the crash/restart path) rather than registered.
 //
 // Server-side TFHE is deterministic, and every backend executes the same
 // per-ciphertext computation in the same order, so conformance is defined

@@ -3,10 +3,13 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/sched"
@@ -14,13 +17,28 @@ import (
 	"repro/internal/wire"
 )
 
+// Client retry defaults: a transient refusal (HTTP 503, code overloaded
+// or shutting_down) is retried up to DefaultMaxRetries times with
+// jittered exponential backoff starting at DefaultRetryBase.
+const (
+	DefaultMaxRetries = 3
+	DefaultRetryBase  = 100 * time.Millisecond
+)
+
 // Client speaks the gate service's HTTP API on behalf of one client ID.
 // The secret keys never leave the caller: the client ships only the
 // wire-encoded evaluation keys and ciphertexts. Safe for concurrent use.
+//
+// Service-level failures surface as *APIError, so callers can dispatch
+// on the machine-readable code. Temporary refusals (overloaded,
+// shutting_down) are retried transparently with bounded jittered
+// backoff before the error is returned.
 type Client struct {
-	base string
-	id   string
-	hc   *http.Client
+	base       string
+	id         string
+	hc         *http.Client
+	maxRetries int
+	retryBase  time.Duration
 }
 
 // Dial returns a client for the service at baseURL (e.g.
@@ -28,22 +46,70 @@ type Client struct {
 // until the first request.
 func Dial(baseURL, clientID string) *Client {
 	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		id:   clientID,
-		hc:   &http.Client{},
+		base:       strings.TrimRight(baseURL, "/"),
+		id:         clientID,
+		hc:         &http.Client{},
+		maxRetries: DefaultMaxRetries,
+		retryBase:  DefaultRetryBase,
+	}
+}
+
+// SetRetry overrides the retry policy: at most maxRetries re-sends of a
+// temporarily refused request, backing off from base. maxRetries 0
+// disables retries.
+func (c *Client) SetRetry(maxRetries int, base time.Duration) {
+	c.maxRetries = maxRetries
+	if base > 0 {
+		c.retryBase = base
 	}
 }
 
 // ClientID returns the client ID requests are issued under.
 func (c *Client) ClientID() string { return c.id }
 
-// post sends one JSON request and decodes the reply into out.
-func (c *Client) post(path string, req, out any) error {
-	body, err := json.Marshal(req)
+// retryable reports whether the failure is worth re-sending: the server
+// explicitly asked for a retry (503 overloaded/shutting_down).
+func retryable(err error) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.Temporary()
+}
+
+// backoff returns the jittered exponential delay before retry attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retryBase << attempt
+	// Full jitter: a uniform draw in [d/2, d), so synchronized clients
+	// desynchronize instead of re-stampeding a recovering server.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// do sends one request, retrying temporary refusals, and decodes the
+// reply into out. body is re-readable across attempts because it is a
+// byte slice.
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(method, path, body, out)
+		if err == nil || !retryable(err) || attempt >= c.maxRetries {
+			return err
+		}
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// doOnce sends exactly one request.
+func (c *Client) doOnce(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -51,19 +117,37 @@ func (c *Client) post(path string, req, out any) error {
 	return decodeReply(resp, out)
 }
 
-// decodeReply decodes a service reply, surfacing ErrorResponse bodies.
-// Replies are batch-sized at most, so the batch body bound applies.
+// post sends one JSON request and decodes the reply into out.
+func (c *Client) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.do(http.MethodPost, path, body, out)
+}
+
+// decodeReply decodes a service reply, surfacing ErrorResponse bodies as
+// typed *APIError values. Replies are batch-sized at most, so the batch
+// body bound applies.
 func decodeReply(resp *http.Response, out any) error {
 	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBatchBodyBytes))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode, Code: CodeInternal}
 		var er ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+			apiErr.Message = er.Error
+			apiErr.Code = er.Code
+			if apiErr.Code == "" {
+				// Pre-code server: classify by status alone.
+				apiErr.Code = CodeBadRequest
+			}
+		} else {
+			apiErr.Message = fmt.Sprintf("HTTP %d", resp.StatusCode)
 		}
-		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		return apiErr
 	}
 	return json.Unmarshal(data, out)
 }
@@ -145,14 +229,57 @@ func (c *Client) MultiLUTBatch(cts []tfhe.LWECiphertext, space int, tables [][]i
 
 // Stats fetches the service metrics snapshot.
 func (c *Client) Stats() (Stats, error) {
-	resp, err := c.hc.Get(c.base + "/v1/stats")
-	if err != nil {
-		return Stats{}, err
-	}
-	defer resp.Body.Close()
 	var st Stats
-	if err := decodeReply(resp, &st); err != nil {
+	if err := c.do(http.MethodGet, "/v1/stats", nil, &st); err != nil {
 		return Stats{}, err
 	}
 	return st, nil
+}
+
+// Healthz fetches the server's readiness. A draining server answers 503
+// with its HealthResponse body; that surfaces as a shutting_down
+// *APIError alongside the decoded health state, and is never retried —
+// health probes want the current answer, not a lucky one.
+func (c *Client) Healthz() (HealthResponse, error) {
+	resp, err := c.hc.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBatchBodyBytes))
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(data, &h); err != nil {
+		return HealthResponse{}, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return h, nil
+	}
+	code := CodeInternal
+	if h.Draining {
+		code = CodeShuttingDown
+	}
+	return h, &APIError{Code: code, Status: resp.StatusCode, Message: "server is " + h.Status}
+}
+
+// Sessions lists every live session on the server, across both the warm
+// and durable tiers.
+func (c *Client) Sessions() ([]SessionInfo, error) {
+	var resp SessionsResponse
+	if err := c.do(http.MethodGet, "/v1/sessions", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// DeleteSession evicts clientID's session from every tier: the warm
+// engine cache and, when the server persists keys, the durable store
+// (via a WAL tombstone). Deleting an unknown session returns an
+// *APIError with code unknown_session.
+func (c *Client) DeleteSession(clientID string) (DeleteSessionResponse, error) {
+	var resp DeleteSessionResponse
+	err := c.do(http.MethodDelete, "/v1/sessions/"+clientID, nil, &resp)
+	return resp, err
 }

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/tfhe"
+	"repro/internal/wire"
+)
+
+// DiskStore is the durable SessionStore: evaluation keys as wire-codec
+// files on disk (one .key blob plus a small .params sidecar per session,
+// both in the internal/wire encoding) fronted by the checksummed
+// write-ahead log of wal.go. Durability discipline, in commit order:
+//
+//  1. the key and params files are written to temp names, fsynced, and
+//     renamed into keys/ (a crash here leaves only orphan files);
+//  2. the keys/ directory is fsynced so the renames are durable;
+//  3. the WAL record referencing the key file is appended and fsynced —
+//     only now is the registration committed.
+//
+// Open replays the WAL: the longest valid record prefix is the committed
+// state, a torn or corrupt tail is truncated away, records pointing at
+// missing key files are dropped, and orphan key files not referenced by
+// any live record are garbage collected. Get re-verifies the blob's
+// recorded CRC-32 so silent file corruption surfaces as an error instead
+// of a poisoned session.
+type DiskStore struct {
+	dir string
+
+	mu      sync.Mutex
+	wal     *os.File
+	seq     uint32
+	entries map[string]diskEntry
+	closed  bool
+}
+
+// diskEntry is the in-memory manifest row for one persisted session.
+type diskEntry struct {
+	file     string // key blob file name, relative to keys/
+	params   string
+	keyBytes int64
+	keyCRC   uint32
+}
+
+// Store file names.
+const (
+	walFileName = "wal"
+	keysDirName = "keys"
+)
+
+// OpenDiskStore opens (creating if needed) a durable session store
+// rooted at dir, replaying and repairing its write-ahead log.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	keysDir := filepath.Join(dir, keysDirName)
+	if err := os.MkdirAll(keysDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: open disk store: %w", err)
+	}
+	walPath := filepath.Join(dir, walFileName)
+
+	data, err := os.ReadFile(walPath)
+	switch {
+	case os.IsNotExist(err):
+		if err := writeFileSync(walPath, appendWALHeader(nil)); err != nil {
+			return nil, fmt.Errorf("server: init WAL: %w", err)
+		}
+		data = appendWALHeader(nil)
+	case err != nil:
+		return nil, fmt.Errorf("server: read WAL: %w", err)
+	}
+
+	recs, valid, err := replayWAL(data)
+	if err != nil {
+		return nil, err
+	}
+	if valid < int64(len(data)) {
+		// Torn or corrupt tail: truncate to the committed prefix so the
+		// next append starts on a record boundary.
+		if err := os.Truncate(walPath, valid); err != nil {
+			return nil, fmt.Errorf("server: truncate torn WAL tail: %w", err)
+		}
+	}
+
+	s := &DiskStore{dir: dir, entries: make(map[string]diskEntry)}
+	for _, rec := range recs {
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		switch rec.Op {
+		case walOpRegister:
+			s.entries[rec.ClientID] = diskEntry{
+				file: rec.File, params: rec.Params,
+				keyBytes: rec.KeyBytes, keyCRC: rec.KeyCRC,
+			}
+		case walOpDelete:
+			delete(s.entries, rec.ClientID)
+		}
+	}
+	// Drop manifest rows whose key file vanished (a delete that crashed
+	// after removing the file, or external damage): better an explicit
+	// re-register than a session that errors on every restore.
+	for id, e := range s.entries {
+		if _, err := os.Stat(filepath.Join(keysDir, e.file)); err != nil {
+			delete(s.entries, id)
+		}
+	}
+	s.gcOrphans(keysDir)
+
+	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: open WAL for append: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// gcOrphans removes key/params files not referenced by any live manifest
+// row — leftovers of replaced registrations, crashed puts, or deletes.
+func (s *DiskStore) gcOrphans(keysDir string) {
+	live := make(map[string]bool, 2*len(s.entries))
+	for _, e := range s.entries {
+		live[e.file] = true
+		live[paramsFileFor(e.file)] = true
+	}
+	names, err := os.ReadDir(keysDir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		if !live[de.Name()] {
+			_ = os.Remove(filepath.Join(keysDir, de.Name()))
+		}
+	}
+}
+
+// keyFileFor returns the key blob file name for a sequence number.
+func keyFileFor(seq uint32) string { return fmt.Sprintf("s%08d.key", seq) }
+
+// paramsFileFor returns the params sidecar name for a key file name.
+func paramsFileFor(keyFile string) string {
+	return keyFile[:len(keyFile)-len(".key")] + ".params"
+}
+
+// Put implements SessionStore: key file first, WAL record second, so a
+// crash between the two leaves an orphan file (collected on next open),
+// never a committed record pointing at missing bytes.
+func (s *DiskStore) Put(clientID string, p tfhe.Params, blob []byte) error {
+	paramsBlob, err := wire.MarshalParams(p)
+	if err != nil {
+		return fmt.Errorf("server: persist params for %q: %w", clientID, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	s.seq++
+	rec := walRecord{
+		Op: walOpRegister, Seq: s.seq, ClientID: clientID,
+		File: keyFileFor(s.seq), KeyBytes: int64(len(blob)),
+		KeyCRC: crc32.ChecksumIEEE(blob), Params: p.Name,
+	}
+	framed, err := appendWALRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+
+	keysDir := filepath.Join(s.dir, keysDirName)
+	if err := writeFileSync(filepath.Join(keysDir, rec.File), blob); err != nil {
+		return fmt.Errorf("server: persist key for %q: %w", clientID, err)
+	}
+	if err := writeFileSync(filepath.Join(keysDir, paramsFileFor(rec.File)), paramsBlob); err != nil {
+		return fmt.Errorf("server: persist params for %q: %w", clientID, err)
+	}
+	if err := syncDir(keysDir); err != nil {
+		return fmt.Errorf("server: sync key dir: %w", err)
+	}
+	if err := s.appendSync(framed); err != nil {
+		return err
+	}
+
+	if old, ok := s.entries[clientID]; ok && old.file != rec.File {
+		// The replacement is committed; the old files are now orphans.
+		_ = os.Remove(filepath.Join(keysDir, old.file))
+		_ = os.Remove(filepath.Join(keysDir, paramsFileFor(old.file)))
+	}
+	s.entries[clientID] = diskEntry{file: rec.File, params: rec.Params, keyBytes: rec.KeyBytes, keyCRC: rec.KeyCRC}
+	return nil
+}
+
+// appendSync appends framed bytes to the WAL and fsyncs. Called with mu
+// held.
+func (s *DiskStore) appendSync(framed []byte) error {
+	if _, err := s.wal.Write(framed); err != nil {
+		return fmt.Errorf("server: append WAL: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("server: sync WAL: %w", err)
+	}
+	return nil
+}
+
+// Get implements SessionStore, verifying the blob against the CRC-32 the
+// WAL committed for it.
+func (s *DiskStore) Get(clientID string) ([]byte, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	e, ok := s.entries[clientID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotPersisted
+	}
+	blob, err := os.ReadFile(filepath.Join(s.dir, keysDirName, e.file))
+	if err != nil {
+		return nil, fmt.Errorf("server: read persisted key for %q: %w", clientID, err)
+	}
+	if int64(len(blob)) != e.keyBytes || crc32.ChecksumIEEE(blob) != e.keyCRC {
+		return nil, fmt.Errorf("server: persisted key for %q fails its checksum (%d bytes)", clientID, len(blob))
+	}
+	return blob, nil
+}
+
+// Delete implements SessionStore: the tombstone record commits the
+// delete; file removal after it is best-effort cleanup (a crash between
+// leaves orphans for the next open's GC).
+func (s *DiskStore) Delete(clientID string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrStoreClosed
+	}
+	e, ok := s.entries[clientID]
+	if !ok {
+		return false, nil
+	}
+	s.seq++
+	framed, err := appendWALRecord(nil, walRecord{Op: walOpDelete, Seq: s.seq, ClientID: clientID})
+	if err != nil {
+		return false, err
+	}
+	if err := s.appendSync(framed); err != nil {
+		return false, err
+	}
+	delete(s.entries, clientID)
+	keysDir := filepath.Join(s.dir, keysDirName)
+	_ = os.Remove(filepath.Join(keysDir, e.file))
+	_ = os.Remove(filepath.Join(keysDir, paramsFileFor(e.file)))
+	return true, nil
+}
+
+// List implements SessionStore.
+func (s *DiskStore) List() []StoreEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := make([]StoreEntry, 0, len(s.entries))
+	for id, e := range s.entries {
+		entries = append(entries, StoreEntry{ClientID: id, Params: e.params, KeyBytes: e.keyBytes})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ClientID < entries[j].ClientID })
+	return entries
+}
+
+// Close implements SessionStore: a final fsync, then the WAL handle is
+// released. The directory can be re-opened by a later OpenDiskStore.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("server: sync WAL on close: %w", err)
+	}
+	return s.wal.Close()
+}
+
+// writeFileSync writes data to path atomically: temp file in the same
+// directory, fsync, rename. Readers never observe a half-written file.
+func writeFileSync(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// syncDir fsyncs a directory so completed renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -16,12 +16,29 @@
 // whole group as one stream — so the engine sees long streams even when
 // clients send small batches. Backpressure is a bounded per-session slot
 // count: when too many requests are queued, new ones block until the
-// backlog drains. Per-session metrics (request/item/stream/coalesce counts
-// plus the engine's aggregated tfhe.OpCounters) are exported via Stats and
-// the HTTP stats endpoint.
+// backlog drains (and are refused with ErrOverloaded once they have
+// waited past Config.QueueTimeout). Per-session metrics
+// (request/item/stream/coalesce counts plus the engine's aggregated
+// tfhe.OpCounters) are exported via Stats and the HTTP stats endpoint.
+//
+// Sessions can be durable. A SessionStore (MemStore, or the crash-safe
+// DiskStore opened via Open/Config.DataDir) turns the LRU into a warm
+// tier: registration persists the exact uploaded key bytes before the
+// session becomes visible, eviction is transparent, and a warm miss
+// restores the session from the store — singleflighted per client ID —
+// with bitwise-identical results and no re-upload. DiskStore pairs
+// CRC-checked key files with an append-only WAL (fsync-ordered so a
+// record never points at missing bytes) and replays the longest valid
+// prefix on open, truncating torn tails. Drain flips the server to
+// draining — new work refused with ErrShuttingDown, in-flight streams
+// run to completion — then closes the store; the healthz endpoint goes
+// not-ready at the flip.
 //
 // The HTTP layer (Handler, Dial) frames the binary wire encoding in JSON:
 // ciphertexts and keys travel as base64 []byte fields, everything else as
 // plain JSON — trivially debuggable with curl, with the hot bytes still in
-// the canonical binary codec.
+// the canonical binary codec. Every non-2xx response carries a
+// machine-readable code (see ErrorResponse), surfaced client-side as a
+// typed *APIError; the Client transparently retries the two Temporary
+// codes (overloaded, shutting_down) with bounded jittered backoff.
 package server

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -95,9 +94,32 @@ type BatchResponse struct {
 	Out [][]byte `json:"out"` // wire-encoded LWE ciphertexts, input order
 }
 
-// ErrorResponse is the JSON body of every non-2xx reply.
+// ErrorResponse is the JSON body of every non-2xx reply. Error is the
+// human-readable message (kept for older clients and for logs); Code is
+// the machine-readable error code clients should dispatch on — one of
+// the Code* constants in errors.go.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// HealthResponse frames GET /v1/healthz.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok", or "draining" with HTTP 503
+	Sessions int    `json:"sessions"`
+	Draining bool   `json:"draining"`
+}
+
+// SessionsResponse frames GET /v1/sessions.
+type SessionsResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// DeleteSessionResponse acknowledges DELETE /v1/sessions/{client_id},
+// reporting which tiers actually held the session.
+type DeleteSessionResponse struct {
+	Warm      bool `json:"warm"`      // a warm-tier session was dropped
+	Persisted bool `json:"persisted"` // a durable key was tombstoned
 }
 
 // Handler returns the HTTP API of the service:
@@ -106,8 +128,14 @@ type ErrorResponse struct {
 //	POST /v1/gate-batch      GateBatchRequest      → BatchResponse
 //	POST /v1/lut-batch       LUTBatchRequest       → BatchResponse
 //	POST /v1/multilut-batch  MultiLUTBatchRequest  → MultiLUTBatchResponse
-//	POST /v1/circuit-batch   CircuitBatchRequest   → BatchResponse
-//	GET  /v1/stats                                 → Stats
+//	POST   /v1/circuit-batch          CircuitBatchRequest   → BatchResponse
+//	GET    /v1/stats                                        → Stats
+//	GET    /v1/healthz                                      → HealthResponse
+//	GET    /v1/sessions                                     → SessionsResponse
+//	DELETE /v1/sessions/{client_id}                         → DeleteSessionResponse
+//
+// Every non-2xx reply is an ErrorResponse carrying a machine-readable
+// code (see errors.go); 503 replies also carry a Retry-After header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register-key", s.handleRegisterKey)
@@ -116,6 +144,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/multilut-batch", s.handleMultiLUTBatch)
 	mux.HandleFunc("POST /v1/circuit-batch", s.handleCircuitBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	mux.HandleFunc("DELETE /v1/sessions/{client_id}", s.handleDeleteSession)
 	return mux
 }
 
@@ -134,17 +165,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps a service error to an HTTP status.
+// writeError maps a service error to its HTTP status and machine code
+// (errorStatus in errors.go). Retryable refusals advertise Retry-After
+// so well-behaved clients pace their backoff.
 func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
-	var tooBig *http.MaxBytesError
-	switch {
-	case errors.Is(err, ErrUnknownSession):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrBatchTooLarge), errors.As(err, &tooBig):
-		code = http.StatusRequestEntityTooLarge
+	status, code := errorStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
 
 // decodeCiphertexts decodes a batch of wire-encoded LWE ciphertexts.
@@ -179,16 +208,14 @@ func (s *Server) handleRegisterKey(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("server: bad register-key request: %w", err))
 		return
 	}
-	ek, err := wire.UnmarshalEvalKey(req.EvalKey)
+	// The encoded path persists the exact uploaded bytes instead of
+	// re-marshaling the decoded key.
+	p, err := s.RegisterKeyEncoded(req.ClientID, req.EvalKey)
 	if err != nil {
-		writeError(w, fmt.Errorf("server: bad eval key: %w", err))
-		return
-	}
-	if err := s.RegisterKey(req.ClientID, ek); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RegisterKeyResponse{Params: ek.Params.Name, KeyBytes: len(req.EvalKey)})
+	writeJSON(w, http.StatusOK, RegisterKeyResponse{Params: p.Name, KeyBytes: len(req.EvalKey)})
 }
 
 // handleGateBatch decodes, evaluates, and re-encodes one gate batch.
@@ -306,4 +333,35 @@ func (s *Server) handleCircuitBatch(w http.ResponseWriter, r *http.Request) {
 // handleStats reports the service metrics snapshot.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleHealthz reports readiness: 200 while serving, 503 once draining
+// — the signal load balancers and init systems watch to stop routing new
+// work during a graceful shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Sessions: len(s.Sessions())}
+	if s.Draining() {
+		resp.Status = "draining"
+		resp.Draining = true
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessions lists every live session across the warm and durable
+// tiers.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SessionsResponse{Sessions: s.SessionList()})
+}
+
+// handleDeleteSession evicts one session from both tiers.
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	warm, persisted, err := s.DeleteSession(r.PathValue("client_id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteSessionResponse{Warm: warm, Persisted: persisted})
 }

@@ -6,21 +6,25 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
+	"repro/internal/wire"
 )
 
 // Config tunes the gate service.
 type Config struct {
 	// MaxSessions bounds how many client sessions (eval keys + engines)
-	// are cached; the least-recently-used session is evicted beyond it.
-	// 0 means 64.
+	// are cached in the warm tier; the least-recently-used session is
+	// evicted beyond it. With a Store, eviction is transparent — the next
+	// request restores the session from persisted key material. 0 means 64.
 	MaxSessions int
 	// MaxPending is the per-session backpressure bound: at most this many
 	// requests may be queued or in flight per session; further requests
-	// block until the backlog drains. 0 means 64.
+	// wait up to QueueTimeout for the backlog to drain, then are refused
+	// with ErrOverloaded. 0 means 64.
 	MaxPending int
 	// MaxBatch caps the ciphertext count of a single request. 0 means 4096.
 	MaxBatch int
@@ -30,6 +34,20 @@ type Config struct {
 	// MaxCircuitNodes caps the node count of a circuit-batch request.
 	// 0 means 4096.
 	MaxCircuitNodes int
+	// QueueTimeout bounds how long a request may wait for a session slot
+	// before being refused with ErrOverloaded (HTTP 503, code
+	// "overloaded") — the signal well-behaved clients back off on.
+	// 0 means 60s; negative means wait indefinitely.
+	QueueTimeout time.Duration
+	// Store is the durable tier behind the warm session LRU: registered
+	// eval keys are written through to it and evicted or restarted
+	// sessions are restored from it on demand. nil means no persistence
+	// (sessions live and die with the warm tier, the pre-store behavior).
+	Store SessionStore
+	// DataDir, when non-empty and Store is nil, makes Open put a
+	// DiskStore at this directory. New (which cannot fail) rejects a
+	// non-empty DataDir — use Open.
+	DataDir string
 	// Stream configures each session's streaming engine stage widths.
 	Stream engine.StreamConfig
 }
@@ -51,12 +69,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxCircuitNodes <= 0 {
 		c.MaxCircuitNodes = 4096
 	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = time.Minute
+	}
 	return c
 }
 
-// Service errors. ErrUnknownSession also covers sessions that were
-// LRU-evicted: from the client's perspective both mean "register your eval
-// key (again)".
+// MaxClientIDBytes bounds a client ID. IDs are keys in the session map,
+// the WAL, and on-disk manifests; a megabyte "ID" is hostile input, not
+// a name.
+const MaxClientIDBytes = 256
+
+// Service errors. ErrUnknownSession means no session — warm or persisted
+// — exists for the client ID; ErrSessionEvicted (errors.go) narrows that
+// to "the warm tier dropped it and no store can bring it back".
 var (
 	ErrUnknownSession = errors.New("server: unknown session: register an eval key first")
 	ErrBatchTooLarge  = errors.New("server: request exceeds the batch size limit")
@@ -66,35 +92,164 @@ var (
 // Server is the session-sharded gate service. All methods are safe for
 // concurrent use.
 type Server struct {
-	cfg Config
+	cfg   Config
+	store SessionStore // nil when running without persistence
 
 	mu        sync.Mutex
 	sessions  map[string]*session
-	lru       *list.List // of *session; front = most recently used
+	lru       *list.List               // of *session; front = most recently used
+	loading   map[string]chan struct{} // in-flight store restores, by ID
+	evicted   *evictSet
 	evictions atomic.Int64
+	restores  atomic.Int64
+
+	// draining flips once, under drainMu, so begin's check-then-Add is
+	// race-free against Drain's flip-then-Wait.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	inflight sync.WaitGroup
 }
 
-// New builds a gate service.
+// New builds a gate service. cfg.DataDir must be empty (New cannot open
+// a disk store because it cannot fail) — use Open for that, or pass an
+// already-open store in cfg.Store.
 func New(cfg Config) *Server {
+	if cfg.DataDir != "" && cfg.Store == nil {
+		panic("server: Config.DataDir requires server.Open")
+	}
+	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
+		store:    cfg.Store,
 		sessions: make(map[string]*session),
 		lru:      list.New(),
+		loading:  make(map[string]chan struct{}),
+		evicted:  newEvictSet(4 * cfg.MaxSessions),
 	}
+}
+
+// Open builds a gate service with durability: when cfg.Store is nil and
+// cfg.DataDir is set, it opens (creating or crash-recovering) a DiskStore
+// there. Previously persisted sessions are immediately servable — the
+// first request for one restores it into the warm tier.
+func Open(cfg Config) (*Server, error) {
+	if cfg.Store == nil && cfg.DataDir != "" {
+		store, err := OpenDiskStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+	}
+	cfg.DataDir = ""
+	return New(cfg), nil
 }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// RegisterKey creates (or replaces) the session for clientID from its
-// evaluation keys. The keys are validated structurally before any engine
-// is built — they typically arrive from an untrusted network peer.
-func (s *Server) RegisterKey(clientID string, ek tfhe.EvaluationKeys) error {
+// Store returns the durable tier, or nil when running without one.
+func (s *Server) Store() SessionStore { return s.store }
+
+// begin admits one request unless the server is draining; every admitted
+// request must call end. The read lock pairs with Drain's write lock so
+// the draining check and the in-flight count move together.
+func (s *Server) begin() error {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return ErrShuttingDown
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// end retires one admitted request.
+func (s *Server) end() { s.inflight.Done() }
+
+// Draining reports whether Drain has been called — the readiness signal
+// behind /v1/healthz.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the service down: new requests (including ones
+// arriving mid-drain) are refused with ErrShuttingDown, every admitted
+// request — and thus every open group-commit stream — runs to
+// completion, and then the session store is flushed and closed. Drain is
+// idempotent and safe to call concurrently; it returns once the server
+// is quiesced and durable.
+func (s *Server) Drain() error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	s.inflight.Wait()
+	if s.store == nil {
+		return nil
+	}
+	if err := s.store.Close(); err != nil {
+		return fmt.Errorf("%w: %v", errStoreFailure, err)
+	}
+	return nil
+}
+
+// validateClientID rejects empty and absurdly long IDs.
+func validateClientID(clientID string) error {
 	if clientID == "" {
 		return ErrEmptyClientID
 	}
+	if len(clientID) > MaxClientIDBytes {
+		return fmt.Errorf("server: client id is %d bytes, max %d", len(clientID), MaxClientIDBytes)
+	}
+	return nil
+}
+
+// RegisterKey creates (or replaces) the session for clientID from its
+// evaluation keys. The keys are validated structurally before any engine
+// is built — they typically arrive from an untrusted network peer. With a
+// Store, the wire encoding of the keys is made durable before the session
+// becomes visible, so a crash after a successful RegisterKey never loses
+// the registration.
+func (s *Server) RegisterKey(clientID string, ek tfhe.EvaluationKeys) error {
+	return s.register(clientID, ek, nil)
+}
+
+// RegisterKeyEncoded registers a wire-encoded evaluation key, reusing the
+// encoded bytes for persistence instead of re-marshaling — the path the
+// HTTP handler takes, since clients upload the encoding. Returns the
+// decoded parameter set for the acknowledgment.
+func (s *Server) RegisterKeyEncoded(clientID string, blob []byte) (tfhe.Params, error) {
+	ek, err := wire.UnmarshalEvalKey(blob)
+	if err != nil {
+		return tfhe.Params{}, fmt.Errorf("server: bad eval key: %w", err)
+	}
+	return ek.Params, s.register(clientID, ek, blob)
+}
+
+// register is the shared registration path. blob, when non-nil, is the
+// wire encoding of ek (trusted to match because RegisterKeyEncoded just
+// decoded ek from it).
+func (s *Server) register(clientID string, ek tfhe.EvaluationKeys, blob []byte) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	if err := validateClientID(clientID); err != nil {
+		return err
+	}
 	if err := ek.Validate(); err != nil {
 		return fmt.Errorf("server: rejecting eval key for %q: %w", clientID, err)
+	}
+	if s.store != nil {
+		if blob == nil {
+			var err error
+			blob, err = wire.MarshalEvalKey(ek)
+			if err != nil {
+				return fmt.Errorf("server: encoding eval key for %q: %w", clientID, err)
+			}
+		}
+		// Durable-first: the WAL record commits before the session is
+		// visible, so no acknowledged registration can be lost.
+		if err := s.store.Put(clientID, ek.Params, blob); err != nil {
+			return fmt.Errorf("%w: persisting key for %q: %v", errStoreFailure, clientID, err)
+		}
 	}
 	// Build the engine outside the lock: key material is large and engine
 	// construction allocates per-worker evaluators.
@@ -105,31 +260,132 @@ func (s *Server) RegisterKey(clientID string, ek tfhe.EvaluationKeys) error {
 	if old, ok := s.sessions[clientID]; ok {
 		s.lru.Remove(old.elem)
 	}
+	s.evicted.remove(clientID)
+	s.install(sess)
+	return nil
+}
+
+// install adds a built session to the warm tier and applies the LRU
+// bound. Called with mu held.
+func (s *Server) install(sess *session) {
 	sess.elem = s.lru.PushFront(sess)
-	s.sessions[clientID] = sess
+	s.sessions[sess.id] = sess
 	for len(s.sessions) > s.cfg.MaxSessions {
 		oldest := s.lru.Back()
 		victim := oldest.Value.(*session)
 		s.lru.Remove(oldest)
 		delete(s.sessions, victim.id)
 		s.evictions.Add(1)
+		if s.store == nil {
+			// Without a durable tier the key material is gone; remember
+			// the ID so the client gets session_evicted, not the generic
+			// unknown_session, and knows a re-upload is needed.
+			s.evicted.add(victim.id)
+		}
 	}
-	return nil
 }
 
-// session looks up and LRU-touches a session.
+// session looks up and LRU-touches a session, restoring it from the
+// durable tier on a warm miss. Concurrent misses for one ID share a
+// single restore (the key decode + engine build is expensive).
 func (s *Server) session(clientID string) (*session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[clientID]
-	if !ok {
+	for {
+		s.mu.Lock()
+		if sess, ok := s.sessions[clientID]; ok {
+			s.lru.MoveToFront(sess.elem)
+			s.mu.Unlock()
+			return sess, nil
+		}
+		if s.store == nil {
+			wasEvicted := s.evicted.has(clientID)
+			s.mu.Unlock()
+			if wasEvicted {
+				return nil, ErrSessionEvicted
+			}
+			return nil, ErrUnknownSession
+		}
+		if ch, ok := s.loading[clientID]; ok {
+			// Another request is restoring this session: wait for it,
+			// then re-check the warm tier.
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.loading[clientID] = ch
+		s.mu.Unlock()
+
+		sess, err := s.restore(clientID)
+		s.mu.Lock()
+		delete(s.loading, clientID)
+		close(ch)
+		if sess != nil {
+			s.install(sess)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+}
+
+// restore rebuilds a session from its persisted key material: disk read,
+// checksum verify, wire decode (which re-validates the key), engine
+// build. The restored session computes on byte-identical key material,
+// so its gate results are bitwise identical to the pre-restart session's.
+func (s *Server) restore(clientID string) (*session, error) {
+	blob, err := s.store.Get(clientID)
+	if errors.Is(err, ErrNotPersisted) {
 		return nil, ErrUnknownSession
 	}
-	s.lru.MoveToFront(sess.elem)
-	return sess, nil
+	if err != nil {
+		return nil, fmt.Errorf("%w: restoring %q: %v", errStoreFailure, clientID, err)
+	}
+	ek, err := wire.UnmarshalEvalKey(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: persisted key for %q does not decode: %v", errStoreFailure, clientID, err)
+	}
+	s.restores.Add(1)
+	return newSession(clientID, ek, s.cfg), nil
 }
 
-// Sessions returns the registered client IDs, most recently used first.
+// DeleteSession explicitly evicts clientID everywhere: the warm session
+// is dropped (in-flight work on it still completes) and the durable tier
+// records a tombstone. It reports which tiers held the session; when
+// neither did, the error is ErrUnknownSession.
+func (s *Server) DeleteSession(clientID string) (warm, persisted bool, err error) {
+	if err := s.begin(); err != nil {
+		return false, false, err
+	}
+	defer s.end()
+	if err := validateClientID(clientID); err != nil {
+		return false, false, err
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[clientID]
+	if ok {
+		warm = true
+		s.lru.Remove(sess.elem)
+		delete(s.sessions, clientID)
+	}
+	// A deleted session is forgotten, not evicted: later requests get
+	// unknown_session.
+	s.evicted.remove(clientID)
+	s.mu.Unlock()
+	if s.store != nil {
+		persisted, err = s.store.Delete(clientID)
+		if err != nil {
+			return warm, false, fmt.Errorf("%w: deleting %q: %v", errStoreFailure, clientID, err)
+		}
+	}
+	if !warm && !persisted {
+		return false, false, ErrUnknownSession
+	}
+	return warm, persisted, nil
+}
+
+// Sessions returns the warm-tier client IDs, most recently used first.
 func (s *Server) Sessions() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -140,13 +396,72 @@ func (s *Server) Sessions() []string {
 	return ids
 }
 
-// Evictions returns how many sessions the LRU bound has evicted.
+// SessionInfo is one row of the session listing: identity, key size, and
+// which tiers (warm engine cache, durable store) hold the session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Params    string `json:"params"`
+	KeyBytes  int64  `json:"key_bytes"`
+	Warm      bool   `json:"warm"`
+	Persisted bool   `json:"persisted"`
+}
+
+// SessionList lists every live session across both tiers: warm sessions
+// first (most recently used first), then store-only sessions sorted by
+// ID. Key sizes are the exact wire-encoded evaluation-key sizes.
+func (s *Server) SessionList() []SessionInfo {
+	persisted := map[string]StoreEntry{}
+	if s.store != nil {
+		for _, e := range s.store.List() {
+			persisted[e.ClientID] = e
+		}
+	}
+	s.mu.Lock()
+	infos := make([]SessionInfo, 0, s.lru.Len()+len(persisted))
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		sess := e.Value.(*session)
+		info := SessionInfo{ID: sess.id, Params: sess.params.Name, Warm: true}
+		if pe, ok := persisted[sess.id]; ok {
+			info.Persisted = true
+			info.KeyBytes = pe.KeyBytes
+			delete(persisted, sess.id)
+		} else if n, ok := wire.EvalKeySize(sess.params); ok {
+			info.KeyBytes = n
+		}
+		infos = append(infos, info)
+	}
+	s.mu.Unlock()
+	cold := make([]SessionInfo, 0, len(persisted))
+	for _, pe := range persisted {
+		cold = append(cold, SessionInfo{ID: pe.ClientID, Params: pe.Params, KeyBytes: pe.KeyBytes, Persisted: true})
+	}
+	sortSessionInfos(cold)
+	return append(infos, cold...)
+}
+
+// sortSessionInfos orders rows by ID.
+func sortSessionInfos(infos []SessionInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// Evictions returns how many sessions the warm-tier LRU bound has evicted.
 func (s *Server) Evictions() int64 { return s.evictions.Load() }
+
+// Restores returns how many sessions were rebuilt from the durable tier.
+func (s *Server) Restores() int64 { return s.restores.Load() }
 
 // GateBatch evaluates out[i] = op(a[i], b[i]) on clientID's session. For
 // the unary NOT, b must be nil. Concurrent calls for the same session and
 // op may be coalesced into one engine stream.
 func (s *Server) GateBatch(clientID string, op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sess, err := s.session(clientID)
 	if err != nil {
 		return nil, err
@@ -171,6 +486,10 @@ func (s *Server) GateBatch(clientID string, op engine.GateOp, a, b []tfhe.LWECip
 // keyswitch. Concurrent calls with an identical table may be coalesced
 // into one engine stream.
 func (s *Server) LUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sess, err := s.session(clientID)
 	if err != nil {
 		return nil, err
@@ -231,6 +550,10 @@ func regroup(flat []tfhe.LWECiphertext, k int) [][]tfhe.LWECiphertext {
 // with an identical table list — the scheduler's fan-out shape — may be
 // coalesced into one engine stream.
 func (s *Server) MultiLUTBatch(clientID string, cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sess, err := s.session(clientID)
 	if err != nil {
 		return nil, err
@@ -259,6 +582,10 @@ func (s *Server) MultiLUTBatch(clientID string, cts []tfhe.LWECiphertext, space 
 // circuits — and plain gate/LUT batches — coalesce into shared engine
 // streams whenever their dispatch keys match.
 func (s *Server) CircuitBatch(clientID string, specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sess, err := s.session(clientID)
 	if err != nil {
 		return nil, err
@@ -318,7 +645,7 @@ type SessionStats struct {
 	Items     int64           `json:"items"`     // ciphertexts processed
 	Streams   int64           `json:"streams"`   // engine streams executed
 	Coalesced int64           `json:"coalesced"` // requests that shared a stream
-	Rejected  int64           `json:"rejected"`  // requests refused by validation
+	Rejected  int64           `json:"rejected"`  // requests refused by validation or overload
 	Pending   int             `json:"pending"`   // requests currently queued or in flight
 	Counters  tfhe.OpCounters `json:"counters"`  // engine op mix as of the last completed stream
 }
@@ -327,6 +654,9 @@ type SessionStats struct {
 type Stats struct {
 	MaxSessions int            `json:"max_sessions"`
 	Evictions   int64          `json:"evictions"`
+	Restores    int64          `json:"restores"`  // sessions rebuilt from the durable tier
+	Persisted   int            `json:"persisted"` // sessions in the durable tier
+	Draining    bool           `json:"draining"`
 	Sessions    []SessionStats `json:"sessions"` // most recently used first
 }
 
@@ -339,9 +669,69 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Unlock()
 
-	st := Stats{MaxSessions: s.cfg.MaxSessions, Evictions: s.evictions.Load()}
+	st := Stats{
+		MaxSessions: s.cfg.MaxSessions,
+		Evictions:   s.evictions.Load(),
+		Restores:    s.restores.Load(),
+		Draining:    s.draining.Load(),
+	}
+	if s.store != nil {
+		st.Persisted = len(s.store.List())
+	}
 	for _, sess := range sessions {
 		st.Sessions = append(st.Sessions, sess.statsSnapshot())
 	}
 	return st
+}
+
+// evictSet remembers the most recently evicted session IDs (bounded
+// FIFO), so a storeless server can answer "you were evicted, re-upload"
+// instead of the generic unknown-session error. The bound keeps a
+// hostile churn of registrations from growing server memory.
+type evictSet struct {
+	cap  int
+	ids  map[string]struct{}
+	fifo []string
+}
+
+// newEvictSet returns an empty set remembering at most cap IDs (min 64).
+func newEvictSet(cap int) *evictSet {
+	if cap < 64 {
+		cap = 64
+	}
+	return &evictSet{cap: cap, ids: make(map[string]struct{})}
+}
+
+// add remembers an evicted ID, forgetting the oldest beyond capacity.
+func (e *evictSet) add(id string) {
+	if _, ok := e.ids[id]; ok {
+		return
+	}
+	for len(e.fifo) >= e.cap {
+		oldest := e.fifo[0]
+		e.fifo = e.fifo[1:]
+		delete(e.ids, oldest)
+	}
+	e.ids[id] = struct{}{}
+	e.fifo = append(e.fifo, id)
+}
+
+// remove forgets an ID (it was re-registered or explicitly deleted).
+func (e *evictSet) remove(id string) {
+	if _, ok := e.ids[id]; !ok {
+		return
+	}
+	delete(e.ids, id)
+	for i, v := range e.fifo {
+		if v == id {
+			e.fifo = append(e.fifo[:i], e.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// has reports whether an ID was recently evicted.
+func (e *evictSet) has(id string) bool {
+	_, ok := e.ids[id]
+	return ok
 }

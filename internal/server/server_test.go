@@ -369,8 +369,14 @@ func TestLRUEviction(t *testing.T) {
 	if srv.Evictions() != 1 {
 		t.Errorf("evictions = %d, want 1", srv.Evictions())
 	}
-	if _, err := srv.GateBatch("b", engine.NOT, encryptBools(sk1, 2, []bool{true}), nil); !errors.Is(err, ErrUnknownSession) {
-		t.Errorf("evicted session error = %v, want ErrUnknownSession", err)
+	// Without a store, eviction is lossy and reported as such — the
+	// specific "re-upload your key" error, not the generic unknown.
+	if _, err := srv.GateBatch("b", engine.NOT, encryptBools(sk1, 2, []bool{true}), nil); !errors.Is(err, ErrSessionEvicted) {
+		t.Errorf("evicted session error = %v, want ErrSessionEvicted", err)
+	}
+	// A never-registered ID stays unknown_session.
+	if _, err := srv.GateBatch("nobody", engine.NOT, encryptBools(sk1, 2, []bool{true}), nil); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown session error = %v, want ErrUnknownSession", err)
 	}
 	// Survivor still works.
 	if _, err := srv.GateBatch("a", engine.NOT, encryptBools(sk1, 3, []bool{true}), nil); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/sched"
@@ -22,8 +23,10 @@ type session struct {
 	elem   *list.Element // position in the server's LRU list
 
 	// slots is the backpressure bound: one token per queued or in-flight
-	// request. Acquiring blocks when the session is saturated.
-	slots chan struct{}
+	// request. Acquiring blocks when the session is saturated, for at
+	// most queueTimeout (negative: forever) before ErrOverloaded.
+	slots        chan struct{}
+	queueTimeout time.Duration
 
 	// groups holds the open coalescing group per compatibility key. A
 	// group accumulates requests while a leader waits for the engine; see
@@ -51,12 +54,13 @@ type session struct {
 // newSession builds a session and its private streaming engine.
 func newSession(id string, ek tfhe.EvaluationKeys, cfg Config) *session {
 	return &session{
-		id:          id,
-		params:      ek.Params,
-		eng:         engine.NewStreaming(ek, cfg.Stream),
-		slots:       make(chan struct{}, cfg.MaxPending),
-		groups:      make(map[string]*group),
-		maxCoalesce: cfg.MaxCoalesce,
+		id:           id,
+		params:       ek.Params,
+		eng:          engine.NewStreaming(ek, cfg.Stream),
+		slots:        make(chan struct{}, cfg.MaxPending),
+		queueTimeout: cfg.QueueTimeout,
+		groups:       make(map[string]*group),
+		maxCoalesce:  cfg.MaxCoalesce,
 	}
 }
 
@@ -94,8 +98,13 @@ type groupResult struct {
 // map, so later arrivals open a fresh group behind it), runs one stream
 // over the whole batch, and scatters results to every waiter.
 func (s *session) submit(key string, a, b []tfhe.LWECiphertext, outPerIn int, run func(a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)) ([]tfhe.LWECiphertext, error) {
-	// Backpressure: block until the session has room for this request.
-	s.slots <- struct{}{}
+	// Backpressure: wait (bounded) until the session has room for this
+	// request. A saturated queue past the timeout means the session is
+	// overloaded — refuse so the client can back off, instead of letting
+	// waiters pile up without bound.
+	if err := s.acquireSlot(); err != nil {
+		return nil, err
+	}
 	defer func() { <-s.slots }()
 
 	w := &waiter{n: len(a), ch: make(chan groupResult, 1)}
@@ -161,6 +170,29 @@ func (s *session) submit(key string, a, b []tfhe.LWECiphertext, outPerIn int, ru
 	s.requests.Add(1)
 	s.items.Add(int64(w.n))
 	return res.out, nil
+}
+
+// acquireSlot takes one backpressure token, waiting up to the session's
+// queue timeout (fast path first, so an idle session never arms a timer).
+func (s *session) acquireSlot() error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queueTimeout < 0 {
+		s.slots <- struct{}{}
+		return nil
+	}
+	t := time.NewTimer(s.queueTimeout)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		s.rejected.Add(1)
+		return ErrOverloaded
+	}
 }
 
 // validateGate rejects malformed gate requests before they can join a

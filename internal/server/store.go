@@ -1,0 +1,137 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/tfhe"
+)
+
+// ErrNotPersisted is returned by SessionStore.Get when no key is stored
+// under the client ID.
+var ErrNotPersisted = errors.New("server: session not persisted")
+
+// ErrStoreClosed is returned by store operations after Close.
+var ErrStoreClosed = errors.New("server: session store is closed")
+
+// StoreEntry describes one persisted session: the durable half of what
+// GET /v1/sessions reports.
+type StoreEntry struct {
+	// ClientID is the session's owner.
+	ClientID string
+	// Params is the parameter set name the key was generated for.
+	Params string
+	// KeyBytes is the wire-encoded evaluation-key size.
+	KeyBytes int64
+}
+
+// SessionStore is the durable tier behind the server's warm session LRU:
+// it holds wire-encoded evaluation keys (the client upload that must
+// survive restarts) keyed by client ID. The server writes through on
+// register, reads back on a warm-tier miss, and tombstones on explicit
+// delete. Implementations must be safe for concurrent use.
+//
+// Blobs are opaque to the store — they are exactly the
+// wire.MarshalEvalKey bytes the client uploaded, so a restored session is
+// rebuilt from byte-identical key material and produces bitwise-identical
+// gate results.
+type SessionStore interface {
+	// Put durably stores the wire-encoded evaluation key for clientID,
+	// replacing any previous key. p is the decoded parameter set of the
+	// blob (callers have always just validated the key), recorded so
+	// List never has to decode key material.
+	Put(clientID string, p tfhe.Params, blob []byte) error
+	// Get returns the stored key blob for clientID, or ErrNotPersisted.
+	Get(clientID string) ([]byte, error)
+	// Delete removes clientID's key, reporting whether one was stored.
+	// Deleting an absent key is not an error.
+	Delete(clientID string) (bool, error)
+	// List returns every persisted session, sorted by client ID.
+	List() []StoreEntry
+	// Close flushes and releases the store. Every later call fails with
+	// ErrStoreClosed.
+	Close() error
+}
+
+// MemStore is the in-memory SessionStore: a durable tier only in the
+// sense that it survives warm-LRU eviction, not a process restart. It is
+// the reference implementation the disk store is tested against, and a
+// useful default when eviction transparency is wanted without disk I/O.
+type MemStore struct {
+	mu     sync.Mutex
+	closed bool
+	blobs  map[string]memEntry
+}
+
+// memEntry is one stored key.
+type memEntry struct {
+	params string
+	blob   []byte
+}
+
+// NewMemStore returns an empty in-memory session store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string]memEntry)}
+}
+
+// Put implements SessionStore. The blob is copied, so callers may reuse
+// their buffer.
+func (m *MemStore) Put(clientID string, p tfhe.Params, blob []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStoreClosed
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	m.blobs[clientID] = memEntry{params: p.Name, blob: cp}
+	return nil
+}
+
+// Get implements SessionStore.
+func (m *MemStore) Get(clientID string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrStoreClosed
+	}
+	e, ok := m.blobs[clientID]
+	if !ok {
+		return nil, ErrNotPersisted
+	}
+	return e.blob, nil
+}
+
+// Delete implements SessionStore.
+func (m *MemStore) Delete(clientID string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, ErrStoreClosed
+	}
+	_, ok := m.blobs[clientID]
+	delete(m.blobs, clientID)
+	return ok, nil
+}
+
+// List implements SessionStore.
+func (m *MemStore) List() []StoreEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entries := make([]StoreEntry, 0, len(m.blobs))
+	for id, e := range m.blobs {
+		entries = append(entries, StoreEntry{ClientID: id, Params: e.params, KeyBytes: int64(len(e.blob))})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ClientID < entries[j].ClientID })
+	return entries
+}
+
+// Close implements SessionStore.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.blobs = nil
+	return nil
+}

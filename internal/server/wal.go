@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The write-ahead log behind DiskStore. The WAL is the source of truth
+// for which sessions exist: key material lives in per-session files under
+// keys/, and the log records, in order, every register (pointing at the
+// key file) and every delete (a tombstone). Replaying the log from the
+// top therefore reconstructs the live-session manifest exactly, and the
+// append-only discipline makes a crash at any byte offset recoverable:
+// the longest valid record prefix is the committed state, and whatever
+// follows is a torn tail to truncate.
+//
+// On-disk layout:
+//
+//	file   := header record*
+//	header := magic u32 ("SWAL") | version u32 (1)
+//	record := crc u32 | len u32 | payload[len]
+//	payload:= op u8 | seq u32 | idLen u16 | id
+//	          (register only:) fileLen u16 | file | keyBytes u64 |
+//	          keyCRC u32 | paramsLen u8 | params
+//
+// All integers are little-endian. crc is the IEEE CRC-32 of payload, so
+// a record is accepted only when its length fits the remaining file AND
+// its checksum matches — a torn or bit-flipped tail fails one of the two
+// and replay stops there.
+
+// walMagic tags a DiskStore write-ahead log ("SWAL", little-endian).
+const walMagic uint32 = 0x4C415753
+
+// walVersion is the current WAL format version; openers reject others.
+const walVersion uint32 = 1
+
+// walHeaderSize is the encoded size of the WAL file header.
+const walHeaderSize = 8
+
+// WAL record operations.
+const (
+	walOpRegister byte = 1 // a key file became clientID's live key
+	walOpDelete   byte = 2 // clientID's key was tombstoned
+)
+
+// walMaxPayload bounds one record payload. IDs and filenames are short;
+// anything bigger is corruption, not data.
+const walMaxPayload = 64 << 10
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	Op       byte
+	Seq      uint32
+	ClientID string
+	// Register-only fields: the key file (relative to the keys/ dir),
+	// its size, the CRC-32 of its contents, and the parameter set name.
+	File     string
+	KeyBytes int64
+	KeyCRC   uint32
+	Params   string
+}
+
+// appendWALHeader appends the WAL file header.
+func appendWALHeader(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, walMagic)
+	return binary.LittleEndian.AppendUint32(dst, walVersion)
+}
+
+// appendWALRecord appends the framed, checksummed encoding of rec.
+func appendWALRecord(dst []byte, rec walRecord) ([]byte, error) {
+	if len(rec.ClientID) > maxStr16 || len(rec.File) > maxStr16 || len(rec.Params) > 255 {
+		return nil, fmt.Errorf("server: WAL record field too long (id %d, file %d, params %d bytes)",
+			len(rec.ClientID), len(rec.File), len(rec.Params))
+	}
+	var payload []byte
+	payload = append(payload, rec.Op)
+	payload = binary.LittleEndian.AppendUint32(payload, rec.Seq)
+	payload = appendStr16(payload, rec.ClientID)
+	if rec.Op == walOpRegister {
+		payload = appendStr16(payload, rec.File)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(rec.KeyBytes))
+		payload = binary.LittleEndian.AppendUint32(payload, rec.KeyCRC)
+		payload = append(payload, byte(len(rec.Params)))
+		payload = append(payload, rec.Params...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// maxStr16 bounds a u16-length-prefixed string.
+const maxStr16 = 1<<16 - 1
+
+// appendStr16 appends a u16 length prefix and the string bytes.
+func appendStr16(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// replayWAL parses a WAL file image. It returns the decoded records of
+// the longest valid prefix and that prefix's byte length: a truncated
+// frame, an over-long length, a checksum mismatch, or an undecodable
+// payload all end the replay at the last good record (the crash-recovery
+// contract — a torn tail is dropped, never guessed at). Only a missing
+// or foreign header is a hard error, because then nothing in the file
+// can be trusted as ours.
+func replayWAL(data []byte) ([]walRecord, int64, error) {
+	if len(data) < walHeaderSize {
+		return nil, 0, fmt.Errorf("server: WAL too short for header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data); m != walMagic {
+		return nil, 0, fmt.Errorf("server: bad WAL magic 0x%08x, want 0x%08x", m, walMagic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != walVersion {
+		return nil, 0, fmt.Errorf("server: unsupported WAL version %d, want %d", v, walVersion)
+	}
+
+	var recs []walRecord
+	off := walHeaderSize
+	for {
+		if len(data)-off < 8 {
+			break // torn frame header
+		}
+		crc := binary.LittleEndian.Uint32(data[off:])
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if n > walMaxPayload || len(data)-off-8 < n {
+			break // hostile length or torn payload
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // bit rot or partial overwrite
+		}
+		rec, ok := decodeWALPayload(payload)
+		if !ok {
+			break // checksum matched but structure did not: stop, do not guess
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs, int64(off), nil
+}
+
+// decodeWALPayload decodes one record payload.
+func decodeWALPayload(payload []byte) (walRecord, bool) {
+	r := walReader{buf: payload}
+	rec := walRecord{Op: r.u8(), Seq: r.u32()}
+	rec.ClientID = r.str16()
+	switch rec.Op {
+	case walOpRegister:
+		rec.File = r.str16()
+		rec.KeyBytes = int64(r.u64())
+		rec.KeyCRC = r.u32()
+		rec.Params = r.str8()
+	case walOpDelete:
+	default:
+		return walRecord{}, false
+	}
+	if r.bad || r.off != len(r.buf) || rec.ClientID == "" || rec.KeyBytes < 0 {
+		return walRecord{}, false
+	}
+	if rec.Op == walOpRegister && rec.File == "" {
+		return walRecord{}, false
+	}
+	return rec, true
+}
+
+// walReader is a tiny bounds-checked cursor for WAL payloads (the wire
+// package's reader is for wire objects; WAL framing is deliberately
+// independent so the two formats can evolve separately).
+type walReader struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+// take returns n bytes or flags the reader bad.
+func (r *walReader) take(n int) []byte {
+	if r.bad || len(r.buf)-r.off < n {
+		r.bad = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// u8 reads one byte.
+func (r *walReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// u32 reads a little-endian uint32.
+func (r *walReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// u64 reads a little-endian uint64.
+func (r *walReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// str16 reads a u16-length-prefixed string.
+func (r *walReader) str16() string {
+	n := r.take(2)
+	if n == nil {
+		return ""
+	}
+	return string(r.take(int(binary.LittleEndian.Uint16(n))))
+}
+
+// str8 reads a u8-length-prefixed string.
+func (r *walReader) str8() string {
+	return string(r.take(int(r.u8())))
+}

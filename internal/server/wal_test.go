@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// walImage builds a WAL file image from records, failing the test on
+// encoding errors.
+func walImage(t *testing.T, recs ...walRecord) []byte {
+	t.Helper()
+	data := appendWALHeader(nil)
+	for _, rec := range recs {
+		var err error
+		data, err = appendWALRecord(data, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return data
+}
+
+// testRecs is a representative record mix: two registers (one replacing
+// the other) plus a tombstone.
+func testRecs() []walRecord {
+	return []walRecord{
+		{Op: walOpRegister, Seq: 1, ClientID: "alice", File: "s00000001.key", KeyBytes: 1234, KeyCRC: 0xdeadbeef, Params: "test"},
+		{Op: walOpRegister, Seq: 2, ClientID: "bob", File: "s00000002.key", KeyBytes: 99, KeyCRC: 7, Params: "test"},
+		{Op: walOpDelete, Seq: 3, ClientID: "alice"},
+	}
+}
+
+// TestWALRoundTrip pins encode → replay over the full field set.
+func TestWALRoundTrip(t *testing.T) {
+	want := testRecs()
+	data := walImage(t, want...)
+	recs, valid, err := replayWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != int64(len(data)) {
+		t.Errorf("valid prefix %d, want whole file %d", valid, len(data))
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+// TestWALTornTail replays every truncation of the file: any cut inside
+// the last record must drop exactly that record and report the boundary
+// after the previous one — byte-granular crash recovery.
+func TestWALTornTail(t *testing.T) {
+	recs := testRecs()
+	full := walImage(t, recs...)
+	twoEnd := int64(len(walImage(t, recs[:2]...)))
+
+	for cut := walHeaderSize; cut < len(full); cut++ {
+		got, valid, err := replayWAL(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// The valid prefix must end on a record boundary at or before the
+		// cut, and every surviving record must match the original.
+		if valid > int64(cut) {
+			t.Fatalf("cut %d: valid prefix %d beyond the data", cut, valid)
+		}
+		for i, rec := range got {
+			if rec != recs[i] {
+				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, rec, recs[i])
+			}
+		}
+		// A cut inside record 3 keeps exactly records 1-2.
+		if int64(cut) >= twoEnd && cut < len(full) {
+			if len(got) != 2 || valid != twoEnd {
+				t.Fatalf("cut %d: got %d records, valid %d; want 2 records, valid %d", cut, len(got), valid, twoEnd)
+			}
+		}
+	}
+}
+
+// TestWALCorruptTail flips one byte in the last record: replay must stop
+// at the previous record, never deliver the corrupted one.
+func TestWALCorruptTail(t *testing.T) {
+	recs := testRecs()
+	full := walImage(t, recs...)
+	twoEnd := int64(len(walImage(t, recs[:2]...)))
+
+	for off := twoEnd; off < int64(len(full)); off++ {
+		data := bytes.Clone(full)
+		data[off] ^= 0x40
+		got, valid, err := replayWAL(data)
+		if err != nil {
+			t.Fatalf("flip at %d: %v", off, err)
+		}
+		if len(got) != 2 || valid != twoEnd {
+			t.Fatalf("flip at %d: got %d records, valid %d; want 2 records, valid %d", off, len(got), valid, twoEnd)
+		}
+	}
+}
+
+// TestWALCorruptMiddle proves replay never skips over damage: a flip in
+// an early record drops it AND everything after it (the tail cannot be
+// trusted once the sequence is broken).
+func TestWALCorruptMiddle(t *testing.T) {
+	recs := testRecs()
+	full := walImage(t, recs...)
+	oneEnd := int64(len(walImage(t, recs[:1]...)))
+
+	data := bytes.Clone(full)
+	data[oneEnd+10] ^= 0x01 // inside record 2
+	got, valid, err := replayWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || valid != oneEnd {
+		t.Errorf("got %d records, valid %d; want 1 record, valid %d", len(got), valid, oneEnd)
+	}
+}
+
+// TestWALHostileLength proves a crafted huge length field cannot drive a
+// giant allocation or a panic: replay stops at the frame.
+func TestWALHostileLength(t *testing.T) {
+	data := walImage(t, testRecs()[:1]...)
+	end := len(data)
+	data = binary.LittleEndian.AppendUint32(data, 0)          // crc
+	data = binary.LittleEndian.AppendUint32(data, 0xffffffff) // hostile len
+	got, valid, err := replayWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || valid != int64(end) {
+		t.Errorf("got %d records, valid %d; want 1, %d", len(got), valid, end)
+	}
+}
+
+// TestWALBadHeader proves a missing, short, or foreign header is a hard
+// error — nothing after it can be trusted as ours.
+func TestWALBadHeader(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {0x53, 0x57},
+		"wrong magic": append([]byte("NOPE"), 1, 0, 0, 0),
+		"wrong ver":   binary.LittleEndian.AppendUint32(binary.LittleEndian.AppendUint32(nil, walMagic), 99),
+	}
+	for name, data := range cases {
+		if _, _, err := replayWAL(data); err == nil {
+			t.Errorf("%s: replay accepted a bad header", name)
+		}
+	}
+}
+
+// TestWALRejectsMalformedPayloads proves structurally invalid payloads
+// (valid checksum, bad contents) stop replay instead of producing
+// garbage records.
+func TestWALRejectsMalformedPayloads(t *testing.T) {
+	bad := []walRecord{
+		{Op: 99, Seq: 1, ClientID: "x"},                                     // unknown op
+		{Op: walOpRegister, Seq: 1, ClientID: "", File: "f"},                // empty id
+		{Op: walOpRegister, Seq: 1, ClientID: "x", File: "", KeyBytes: 1},   // register without file
+		{Op: walOpRegister, Seq: 1, ClientID: "x", File: "f", KeyBytes: -5}, // negative size
+	}
+	for i, rec := range bad {
+		data, err := appendWALRecord(appendWALHeader(nil), rec)
+		if err != nil {
+			continue // encoder already refuses: equally safe
+		}
+		got, valid, err := replayWAL(data)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != 0 || valid != walHeaderSize {
+			t.Errorf("case %d: replay accepted malformed record %+v", i, rec)
+		}
+	}
+}
+
+// TestWALFieldBounds proves over-long fields are refused at encode time.
+func TestWALFieldBounds(t *testing.T) {
+	long := string(make([]byte, maxStr16+1))
+	if _, err := appendWALRecord(nil, walRecord{Op: walOpRegister, Seq: 1, ClientID: long, File: "f"}); err == nil {
+		t.Error("over-long client id encoded")
+	}
+	if _, err := appendWALRecord(nil, walRecord{Op: walOpRegister, Seq: 1, ClientID: "x", File: "f", Params: string(make([]byte, 256))}); err == nil {
+		t.Error("over-long params name encoded")
+	}
+}

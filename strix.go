@@ -43,6 +43,7 @@
 package strix
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"net/http"
@@ -302,11 +303,51 @@ type GateService = server.Server
 // the caller.
 type GateClient = server.Client
 
+// SessionStore is the durable tier behind the gate service's warm
+// session LRU: wire-encoded evaluation keys that survive eviction (and,
+// with a DiskStore, restarts), keyed by client ID.
+type SessionStore = server.SessionStore
+
+// DiskStore is the crash-safe on-disk SessionStore: wire-codec key files
+// plus a checksummed write-ahead log, replayed and repaired on open.
+type DiskStore = server.DiskStore
+
+// MemStore is the in-memory SessionStore: it survives warm-tier
+// eviction but not a process restart.
+type MemStore = server.MemStore
+
+// APIError is the typed client-side form of a non-2xx gate-service
+// response: machine-readable code, HTTP status, human message.
+type APIError = server.APIError
+
+// SessionInfo is one row of the gate service's session listing.
+type SessionInfo = server.SessionInfo
+
 // NewGateService builds a gate service. The zero ServiceConfig gives a
 // 64-session LRU, 64 pending requests per session, and NumCPU rotate
 // workers per session engine.
 func NewGateService(cfg ServiceConfig) *GateService {
 	return server.New(cfg)
+}
+
+// OpenGateService builds a gate service with durable key persistence:
+// when cfg.Store is nil and cfg.DataDir is set, a DiskStore is opened
+// (created, or crash-recovered) there. Sessions registered before a
+// restart are served again without re-uploading keys, with bitwise-
+// identical results.
+func OpenGateService(cfg ServiceConfig) (*GateService, error) {
+	return server.Open(cfg)
+}
+
+// OpenDiskStore opens (creating if needed) a crash-safe on-disk session
+// store rooted at dir, replaying and repairing its write-ahead log.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	return server.OpenDiskStore(dir)
+}
+
+// NewMemStore returns an empty in-memory session store.
+func NewMemStore() *MemStore {
+	return server.NewMemStore()
 }
 
 // Serve runs the gate service's HTTP API on the listener until it fails
@@ -326,6 +367,39 @@ func Serve(l net.Listener, srv *GateService) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	return hs.Serve(l)
+}
+
+// ServeDrain runs the gate service's HTTP API on the listener until
+// drain is closed, then shuts down gracefully: the service stops
+// admitting work (healthz flips to draining, new requests get 503
+// shutting_down), every in-flight request — including open group-commit
+// streams — runs to completion, the session store is flushed and closed,
+// and open connections are torn down. It returns nil after a clean
+// drain, or the listener's error if serving failed first.
+func ServeDrain(l net.Listener, srv *GateService, drain <-chan struct{}) error {
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-drain:
+	}
+	// Refuse new work and wait out in-flight requests before closing
+	// connections, so every accepted request gets its response.
+	drainErr := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return drainErr
 }
 
 // Dial returns a client for the gate service at baseURL (e.g.
