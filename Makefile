@@ -8,7 +8,7 @@ GO ?= go
 # PR past CI. The value lives ONLY here — CI consumes it through
 # `make cover`. Ratcheted 70 → 72 when the cross-backend conformance
 # suite landed; current total is ~73%.
-COVER_FLOOR ?= 72.0
+COVER_FLOOR ?= 73.0
 
 # The benchmarks behind the perf trajectory (BENCH_pbs.json): the two
 # engines, the circuit scheduler, and multi-value PBS. benchjson derives
@@ -48,9 +48,9 @@ cover:
 # The committed fuzz seed corpus in regression mode: every seed under
 # the packages' testdata/fuzz directories must keep passing without
 # -fuzz (wire codec, multilut-batch request decoder, packed test-vector
-# builder).
+# builder, scheduler optimizer pipeline).
 fuzz-regress:
-	$(GO) test -run '^Fuzz' ./internal/wire/... ./internal/server/... ./internal/tfhe/...
+	$(GO) test -run '^Fuzz' ./internal/wire/... ./internal/server/... ./internal/tfhe/... ./internal/sched/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

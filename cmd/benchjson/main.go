@@ -81,6 +81,14 @@ var gatedRatios = []gatedRatio{
 	// rotation instead of four — so it holds on a single core; measured
 	// values sit near 3–4×).
 	{name: "multilut_vs_klut", num: "BenchmarkMultiLUT/k=4", den: "BenchmarkMultiLUT/k=1", unit: "LUT/s", min: 1.5},
+	// The optimizer-pipeline claim: compiling the 3-digit multiply with
+	// every pass on (fusion + multi-value packing drop 19 rotations to
+	// 12) must finish whole multiplies measurably faster than the naive
+	// schedule on the same engines. Wall-clock mul/s, not PBS/s — fewer
+	// rotations in less time leaves PBS/s flat by construction. The
+	// saving is algorithmic, so the 1.1 floor holds on a single core;
+	// measured values sit near the 19/12 ≈ 1.5× rotation ratio.
+	{name: "optimized_vs_naive", num: "BenchmarkCircuitMul/optimized", den: "BenchmarkCircuitMul/naive", unit: "mul/s", min: 1.1},
 	// The PR-6 durability claim: restoring a session from the on-disk
 	// store (file read + CRC verify on a ~2 MB test-parameter key) must
 	// stay within 4× of the pure decode+engine-build cost measured by

@@ -20,6 +20,8 @@ BenchmarkStreamGate/workers=1-8    	       5	  30000000 ns/op	       105.0 PBS/s
 BenchmarkCircuitMul/seq-8          	       5	  75000000 ns/op	       250.0 PBS/s
 BenchmarkCircuitMul/sched-w2-8     	       5	  38000000 ns/op	       500.0 PBS/s
 BenchmarkCircuitMul/sched-wmax-8   	       5	  20000000 ns/op	       950.0 PBS/s
+BenchmarkCircuitMul/naive-8        	       5	 100000000 ns/op	        10.0 mul/s
+BenchmarkCircuitMul/optimized-8    	       5	  62500000 ns/op	        16.0 mul/s
 BenchmarkMultiLUT/k=1-8            	       5	   5000000 ns/op	       200.0 LUT/s
 BenchmarkMultiLUT/k=2-8            	       5	   5200000 ns/op	       385.0 LUT/s
 BenchmarkMultiLUT/k=4-8            	       5	   5500000 ns/op	       727.0 LUT/s
@@ -52,6 +54,9 @@ func TestParseBench(t *testing.T) {
 	if got := f.Gated["restore_disk_vs_mem"]; got != 500.0/625.0 {
 		t.Errorf("restore ratio = %v, want %v", got, 500.0/625.0)
 	}
+	if got := f.Gated["optimized_vs_naive"]; got != 1.6 {
+		t.Errorf("optimized ratio = %v, want 1.6", got)
+	}
 }
 
 func TestParseBenchMissingGateBenchmark(t *testing.T) {
@@ -75,7 +80,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A regressed ratio inside the band passes, outside it fails.
 	regressed := *base
-	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8}
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3}
 	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
 		t.Errorf("20%% regression inside 25%% band failed: %v", err)
 	}
@@ -84,7 +89,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A gate missing from the current run fails.
 	missing := *base
-	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8}
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6}
 	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
 		t.Error("gate missing from current run passed")
 	}
@@ -124,14 +129,14 @@ func TestCompareAbsoluteFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	low := *base
-	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8}
+	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6}
 	// 1.4 is within 25% of the 3.635 baseline? No — but force the band
 	// wide enough that only the absolute floor can catch it.
 	if err := compare(base, &low, 0.99, os.Stderr); err == nil {
 		t.Error("multilut ratio below the 1.5 absolute floor passed")
 	}
 	ok := *base
-	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8}
+	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6}
 	if err := compare(base, &ok, 0.99, os.Stderr); err != nil {
 		t.Errorf("multilut ratio above the absolute floor failed: %v", err)
 	}
@@ -141,6 +146,13 @@ func TestCompareAbsoluteFloor(t *testing.T) {
 	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2}
 	if err := compare(base, &slow, 0.99, os.Stderr); err == nil {
 		t.Error("restore ratio below the 0.25 absolute floor passed")
+	}
+	// The optimizer gate's 1.1 floor: an "optimization" that is a wash
+	// or a slowdown fails regardless of the baseline band.
+	wash := *base
+	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0}
+	if err := compare(base, &wash, 0.99, os.Stderr); err == nil {
+		t.Error("optimized ratio below the 1.1 absolute floor passed")
 	}
 }
 
@@ -154,7 +166,7 @@ func TestSmoke(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
-	cmdtest.WantSubstrings(t, out, "wrote", "4 gated ratios")
+	cmdtest.WantSubstrings(t, out, "wrote", "5 gated ratios")
 
 	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
 	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut")

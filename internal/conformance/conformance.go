@@ -18,6 +18,11 @@ import (
 type Backend interface {
 	// Name identifies the backend in failure messages.
 	Name() string
+	// Bitwise reports the conformance relation the backend promises
+	// against the sequential reference: bitwise-identical ciphertexts,
+	// or (for backends that re-synthesize bootstraps, like the
+	// optimizing scheduler) identical decoded plaintexts only.
+	Bitwise() bool
 	// Gate evaluates out[i] = op(a[i], b[i]); b is nil for the unary NOT.
 	Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
 	// LUT applies table (message space space) to every ciphertext.
@@ -99,19 +104,27 @@ func NewFixture(seed int64) (*Fixture, error) {
 
 	batch := engine.New(ek, engine.Config{Workers: 2, ChunkSize: 1})
 	stream := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: 2, KSWorkers: 2})
+	runner := &sched.Runner{Batch: batch, Stream: stream}
+	// The optimized backend runs the full pass pipeline, with the
+	// multi-value budget bound to the fixture's parameter set so packing
+	// stays inside space·k ≤ N.
+	opt := sched.OptAll()
+	opt.MultiValueBudget = tfhe.ParamsTest.N
 	f.backends = []Backend{
 		seqBackend{ev: tfhe.NewEvaluator(ek)},
 		batchBackend{eng: batch},
 		streamBackend{eng: stream},
-		schedBackend{r: &sched.Runner{Batch: batch, Stream: stream}},
+		schedBackend{r: runner},
 		serverBackend{cl: cl},
 		restoredBackend{serverBackend{cl: clRest}},
+		optimizedBackend{schedBackend{r: runner, cfg: sched.Config{Opt: opt}}},
 	}
 	return f, nil
 }
 
-// Backends returns the six backends; index 0 is the sequential
-// reference every other backend must match bitwise.
+// Backends returns the seven backends; index 0 is the sequential
+// reference every other backend must match — bitwise when the backend's
+// Bitwise() promise holds, by decoded plaintext otherwise.
 func (f *Fixture) Backends() []Backend { return f.backends }
 
 // Close shuts both in-process gate services down and removes the
@@ -134,6 +147,8 @@ type seqBackend struct {
 }
 
 func (s seqBackend) Name() string { return "sequential" }
+
+func (s seqBackend) Bitwise() bool { return true }
 
 func (s seqBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	out := make([]tfhe.LWECiphertext, len(a))
@@ -187,6 +202,8 @@ type batchBackend struct {
 
 func (b batchBackend) Name() string { return "batch" }
 
+func (b batchBackend) Bitwise() bool { return true }
+
 func (b batchBackend) Gate(op engine.GateOp, a, bb []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	return b.eng.BatchGate(op, a, bb)
 }
@@ -211,6 +228,8 @@ type streamBackend struct {
 
 func (s streamBackend) Name() string { return "streaming" }
 
+func (s streamBackend) Bitwise() bool { return true }
+
 func (s streamBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	return s.eng.StreamGate(op, a, b)
 }
@@ -233,9 +252,14 @@ func (s streamBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext)
 // the engines by the cost model — the path whole workloads take.
 type schedBackend struct {
 	r *sched.Runner
+	// cfg is the compile configuration every operation is scheduled
+	// under; the zero value compiles circuits exactly as built.
+	cfg sched.Config
 }
 
 func (s schedBackend) Name() string { return "scheduled" }
+
+func (s schedBackend) Bitwise() bool { return true }
 
 func (s schedBackend) Gate(op engine.GateOp, a, bs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	b := sched.NewBuilder()
@@ -254,7 +278,7 @@ func (s schedBackend) Gate(op engine.GateOp, a, bs []tfhe.LWECiphertext) ([]tfhe
 	if err != nil {
 		return nil, err
 	}
-	return s.r.Run(circ, sched.Config{}, inputs)
+	return s.r.Run(circ, s.cfg, inputs)
 }
 
 func (s schedBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
@@ -266,7 +290,7 @@ func (s schedBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]t
 	if err != nil {
 		return nil, err
 	}
-	return s.r.Run(circ, sched.Config{}, cts)
+	return s.r.Run(circ, s.cfg, cts)
 }
 
 func (s schedBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
@@ -278,7 +302,7 @@ func (s schedBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]i
 	if err != nil {
 		return nil, err
 	}
-	flat, err := s.r.Run(circ, sched.Config{}, cts)
+	flat, err := s.r.Run(circ, s.cfg, cts)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +315,7 @@ func (s schedBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]i
 }
 
 func (s schedBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
-	return s.r.Run(circ, sched.Config{}, inputs)
+	return s.r.Run(circ, s.cfg, inputs)
 }
 
 // serverBackend reaches every operation through the gate service's HTTP
@@ -302,6 +326,8 @@ type serverBackend struct {
 }
 
 func (s serverBackend) Name() string { return "server" }
+
+func (s serverBackend) Bitwise() bool { return true }
 
 func (s serverBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	return s.cl.GateBatch(op, a, b)
@@ -327,3 +353,16 @@ type restoredBackend struct {
 }
 
 func (restoredBackend) Name() string { return "restored-server" }
+
+// optimizedBackend is the scheduler backend with the full optimizer
+// pass pipeline enabled. Fusion and multi-value packing re-synthesize
+// bootstraps, so its contract is decode identity, not bitwise identity
+// — the suite checks its outputs against the plaintext expectations
+// every other backend's bitwise reference is itself checked against.
+type optimizedBackend struct {
+	schedBackend
+}
+
+func (optimizedBackend) Name() string { return "optimized-scheduled" }
+
+func (optimizedBackend) Bitwise() bool { return false }

@@ -9,7 +9,7 @@ import (
 	"repro/internal/tfhe"
 )
 
-// fixture is shared by every test in the package: one key set, five live
+// fixture is shared by every test in the package: one key set, seven live
 // backends (keygen plus service registration is the expensive part).
 var fixture *Fixture
 
@@ -45,6 +45,34 @@ func encTestInts(seed int64, n, space int) ([]tfhe.LWECiphertext, []int) {
 		cts[i] = fixture.SK.LWE.Encrypt(rng, tfhe.EncodePBSMessage(pts[i], space), tfhe.ParamsTest.LWEStdDev)
 	}
 	return cts, pts
+}
+
+// requireBools asserts each ciphertext decrypts to the expected bit —
+// the conformance relation for backends that do not promise bitwise
+// outputs (Backend.Bitwise() == false).
+func requireBools(t *testing.T, backend string, got []tfhe.LWECiphertext, want []bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", backend, len(got), len(want))
+	}
+	for i := range want {
+		if v := fixture.SK.DecryptBool(got[i]); v != want[i] {
+			t.Fatalf("%s: output %d decrypts to %v, want %v", backend, i, v, want[i])
+		}
+	}
+}
+
+// requireInts asserts each ciphertext decodes to the expected message.
+func requireInts(t *testing.T, backend string, got []tfhe.LWECiphertext, space int, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", backend, len(got), len(want))
+	}
+	for i := range want {
+		if v := tfhe.DecodePBSMessage(fixture.SK.LWE.Phase(got[i]), space); v != want[i] {
+			t.Fatalf("%s: output %d decodes to %d, want %d", backend, i, v, want[i])
+		}
+	}
 }
 
 // requireSame asserts bitwise equality against the sequential reference.
@@ -89,7 +117,15 @@ func TestGatesConform(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", be.Name(), err)
 				}
-				requireSame(t, be.Name(), got, want)
+				if be.Bitwise() {
+					requireSame(t, be.Name(), got, want)
+					continue
+				}
+				bits := make([]bool, len(want))
+				for i := range bits {
+					bits[i] = op.Eval(pa[i], pb[i])
+				}
+				requireBools(t, be.Name(), got, bits)
 			}
 		})
 	}
@@ -123,7 +159,15 @@ func TestLUTConform(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", be.Name(), err)
 				}
-				requireSame(t, be.Name(), got, want)
+				if be.Bitwise() {
+					requireSame(t, be.Name(), got, want)
+					continue
+				}
+				ints := make([]int, len(want))
+				for i := range ints {
+					ints[i] = tc.table[pts[i]]
+				}
+				requireInts(t, be.Name(), got, tc.space, ints)
 			}
 		})
 	}
@@ -170,7 +214,15 @@ func TestMultiLUTConform(t *testing.T) {
 					t.Fatalf("%s: %d output groups, want %d", be.Name(), len(got), len(want))
 				}
 				for i := range want {
-					requireSame(t, be.Name(), got[i], want[i])
+					if be.Bitwise() {
+						requireSame(t, be.Name(), got[i], want[i])
+						continue
+					}
+					ints := make([]int, len(tc.tables))
+					for j, table := range tc.tables {
+						ints[j] = table[pts[i]]
+					}
+					requireInts(t, be.Name(), got[i], tc.space, ints)
 				}
 			}
 		})
@@ -234,14 +286,23 @@ func TestCircuitConform(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", be.Name(), err)
 		}
-		requireSame(t, be.Name(), got, want)
+		if be.Bitwise() {
+			requireSame(t, be.Name(), got, want)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d outputs, want %d", be.Name(), len(got), len(want))
+		}
+		requireBools(t, be.Name(), got[:2], wantBits)
+		requireInts(t, be.Name(), got[2:], 4, wantInts)
 	}
 }
 
-// TestBackendNames pins that the six backends are present, uniquely
-// named, and led by the sequential reference.
+// TestBackendNames pins that the seven backends are present, uniquely
+// named, led by the sequential reference, and that exactly the
+// optimizing backend relaxes the bitwise promise.
 func TestBackendNames(t *testing.T) {
-	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server"}
+	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled"}
 	bes := fixture.Backends()
 	if len(bes) != len(want) {
 		t.Fatalf("%d backends, want %d", len(bes), len(want))
@@ -249,6 +310,9 @@ func TestBackendNames(t *testing.T) {
 	for i, be := range bes {
 		if be.Name() != want[i] {
 			t.Fatalf("backend %d named %q, want %q", i, be.Name(), want[i])
+		}
+		if wantBitwise := be.Name() != "optimized-scheduled"; be.Bitwise() != wantBitwise {
+			t.Fatalf("backend %q reports Bitwise()=%v, want %v", be.Name(), be.Bitwise(), wantBitwise)
 		}
 	}
 }

@@ -36,7 +36,9 @@ func MaxValue(digits int) int {
 // built as a sched circuit and executed on the configured backend: the
 // sequential evaluator (New) runs the DAG node by node, the scheduled
 // backend (NewScheduled) levelizes it and dispatches whole levels as
-// engine batches. Both backends are bitwise identical.
+// engine batches. Both backends are bitwise identical; the optimizing
+// backend (NewOptimized) rewrites circuits before scheduling and
+// promises decode identity only.
 type Evaluator struct {
 	// Eval is the sequential backend's evaluator; nil when scheduled.
 	Eval *tfhe.Evaluator
@@ -53,9 +55,21 @@ func New(ev *tfhe.Evaluator) *Evaluator { return &Evaluator{Eval: ev} }
 func NewScheduled(r *sched.Runner) *Evaluator { return &Evaluator{runner: r} }
 
 // NewScheduledConfig builds a scheduled evaluator with an explicit
-// compile configuration (cost-model threshold or forced routing).
+// compile configuration (cost-model threshold, forced routing, or
+// optimizer passes).
 func NewScheduledConfig(r *sched.Runner, cfg sched.Config) *Evaluator {
 	return &Evaluator{runner: r, cfg: cfg}
+}
+
+// NewOptimized builds a scheduled evaluator with the full optimizer
+// pass pipeline, its multi-value packing budget bound to params so
+// packed groups always satisfy space·k ≤ N. Results decode identically
+// to the other backends' but are not bitwise identical: fusion and
+// packing re-synthesize bootstraps.
+func NewOptimized(r *sched.Runner, params tfhe.Params) *Evaluator {
+	opt := sched.OptAll()
+	opt.MultiValueBudget = params.N
+	return &Evaluator{runner: r, cfg: sched.Config{Opt: opt}}
 }
 
 // exec runs a built circuit on the backend.

@@ -440,3 +440,33 @@ func TestZeroDigitBuilders(t *testing.T) {
 		t.Errorf("zero-digit LessThan constant = %d, want 0", got)
 	}
 }
+
+// TestOptimizedEvaluator runs add and mul through the optimizing
+// scheduled backend: the pass pipeline rewrites the digit circuits
+// (fusing LUT chains and packing carry/digit fan-out) and the results
+// still decrypt to the right values on every backend-visible operation.
+func TestOptimizedEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ev := NewOptimized(&sched.Runner{
+		Batch:  engine.New(testEK, engine.Config{Workers: 3}),
+		Stream: engine.NewStreaming(testEK, engine.StreamConfig{RotateWorkers: 2}),
+	}, tfhe.ParamsTest)
+	for _, c := range [][2]int{{0, 0}, {5, 9}, {27, 45}, {63, 63}} {
+		x, _ := Encrypt(rng, testSK, c[0], 3)
+		y, _ := Encrypt(rng, testSK, c[1], 3)
+		sum, err := ev.Add(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := Decrypt(testSK, sum), (c[0]+c[1])%64; got != want {
+			t.Errorf("optimized %d+%d = %d, want %d", c[0], c[1], got, want)
+		}
+		prod, err := ev.Mul(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := Decrypt(testSK, prod), (c[0]*c[1])%64; got != want {
+			t.Errorf("optimized %d*%d = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}

@@ -36,16 +36,21 @@ type Config struct {
 	// MinStream overrides the Auto-mode threshold. 0 means
 	// DefaultMinStream.
 	MinStream int
-	// MultiValue enables multi-value fusing of plain LUT fan-out: when
-	// ≥ 2, independent LUT nodes of a level that read the same input
-	// wire with the same message space are packed — up to MultiValue per
-	// group — into multi-value dispatches that pay one blind rotation
-	// for the whole group. Outputs decode identically to the unfused
-	// schedule but are not bitwise identical to it (the shared rotation
-	// uses a k×-finer packed test vector), and the executing parameter
-	// set must satisfy space·k ≤ N. 0 disables fusing. Explicit
-	// Builder.MultiLUT groups always execute multi-value, knob or not.
+	// MultiValue enables multi-value packing of plain LUT fan-out with
+	// this cap per group.
+	//
+	// Deprecated: it is an alias for Opt.MultiValue — the packing that
+	// used to happen opportunistically at dispatch assembly is now the
+	// optimizer's DAG rewrite (see OptConfig.MultiValue for the exact
+	// semantics, which are unchanged: decode-identical, not bitwise, and
+	// the executing parameter set must satisfy space·k ≤ N). Ignored
+	// when Opt.MultiValue is set. Explicit Builder.MultiLUT groups
+	// always execute multi-value, knob or not.
 	MultiValue int
+	// Opt selects optimizer passes to run on the circuit before
+	// levelization (see OptConfig and OptAll). The zero value compiles
+	// the circuit exactly as built, bitwise-faithful to RunSequential.
+	Opt OptConfig
 }
 
 // DispatchKind discriminates what a dispatch executes.
@@ -106,6 +111,11 @@ type Stats struct {
 	// the rotations those shares saved versus one PBS per output.
 	MultiValueOuts int
 	RotationsSaved int
+
+	// OptPasses records what each optimizer pass removed (nil when no
+	// passes ran). The per-pass PBSRemoved entries sum to the total
+	// rotation reduction versus compiling the same circuit unoptimized.
+	OptPasses []PassStat
 }
 
 // Schedule is a compiled circuit: levelized dispatches plus the free
@@ -116,9 +126,13 @@ type Schedule struct {
 	// PBS level l (linAt[0] depends on inputs only), in build order.
 	linAt [][]Wire
 	stats Stats
-	// nodes is the node count of the compiled circuit, so Execute can
-	// reject a schedule paired with a different circuit.
+	// nodes is the node count of the source circuit handed to Compile,
+	// so Execute can reject a schedule paired with a different circuit.
 	nodes int
+	// circ is the circuit the levels reference — the optimizer's
+	// rewrite when passes ran, the source circuit itself otherwise.
+	// Execute resolves wires against it.
+	circ *Circuit
 }
 
 // Levels returns the levelized dispatches. The slice is shared, not
@@ -137,6 +151,49 @@ func (s *Schedule) String() string {
 	if s.stats.RotationsSaved > 0 {
 		fmt.Fprintf(&b, ", %d rotations saved (multi-value)", s.stats.RotationsSaved)
 	}
+	if saved := s.optPBSRemoved(); saved > 0 {
+		fmt.Fprintf(&b, ", optimizer -%d PBS", saved)
+	}
+	return b.String()
+}
+
+// optPBSRemoved sums the rotations the optimizer passes removed.
+func (s *Schedule) optPBSRemoved() int {
+	saved := 0
+	for _, p := range s.stats.OptPasses {
+		saved += p.PBSRemoved
+	}
+	return saved
+}
+
+// Describe renders the full plan, one line per level plus the optimizer
+// pass table — the stable, diffable digest the golden plan tests pin.
+func (s *Schedule) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s\n", s.String())
+	for _, p := range s.stats.OptPasses {
+		fmt.Fprintf(&b, "pass %s: rewrites=%d nodes=%+d pbs=%+d\n",
+			p.Name, p.Rewrites, -p.NodesRemoved, -p.PBSRemoved)
+	}
+	for l, lv := range s.levels {
+		fmt.Fprintf(&b, "level %d (%d PBS):", l+1, lv.PBS)
+		for _, d := range lv.Dispatches {
+			b.WriteByte(' ')
+			switch d.Kind {
+			case DispatchGate:
+				fmt.Fprintf(&b, "gate:%s x%d", d.Op, len(d.Nodes))
+			case DispatchLUT:
+				fmt.Fprintf(&b, "lut:s%d x%d", d.Space, len(d.Nodes))
+			case DispatchMultiLUT:
+				fmt.Fprintf(&b, "mlut:s%dk%d x%d", d.Space, len(d.Tables), d.Groups())
+			}
+			if d.Stream {
+				b.WriteString("[stream]")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "linear nodes: %d\n", s.stats.LinearNodes)
 	return b.String()
 }
 
@@ -171,21 +228,36 @@ func multiLUTDispatchKey(space int, tables [][]int) string {
 	return b.String()
 }
 
-// Compile levelizes the circuit and groups each level into batched
-// dispatches. Each PBS node's level is its longest-path PBS depth from
-// the inputs (linear nodes are free and add no depth) — the maximal
-// independent sets the paper's scheduler dispatches as epochs. Within a
-// level, gates group by op and LUTs by exact table, since each engine
-// call shares one operation (and one test vector) across its batch.
+// Compile optionally optimizes the circuit (cfg.Opt), then levelizes it
+// and groups each level into batched dispatches. Each PBS node's level
+// is its longest-path PBS depth from the inputs (linear nodes are free
+// and add no depth) — the maximal independent sets the paper's scheduler
+// dispatches as epochs. Within a level, gates group by op and LUTs by
+// exact table, since each engine call shares one operation (and one test
+// vector) across its batch. The schedule carries the optimized circuit:
+// Execute is still called with the source circuit, whose inputs and
+// output order the rewrite preserves.
 func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 	minStream := cfg.MinStream
 	if minStream <= 0 {
 		minStream = DefaultMinStream
 	}
+	opt := cfg.Opt
+	if opt.MultiValue == 0 && cfg.MultiValue >= 2 {
+		opt.MultiValue = cfg.MultiValue // deprecated alias
+	}
+	exec, passes := c, []PassStat(nil)
+	if opt.enabled() {
+		var err error
+		exec, passes, err = Optimize(c, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
 
-	lvl := make([]int, len(c.nodes))
+	lvl := make([]int, len(exec.nodes))
 	maxLvl := 0
-	for i, n := range c.nodes {
+	for i, n := range exec.nodes {
 		switch n.kind {
 		case kindInput:
 			lvl[i] = 0
@@ -217,7 +289,9 @@ func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 		levels: make([]Level, maxLvl),
 		linAt:  make([][]Wire, maxLvl+1),
 		nodes:  len(c.nodes),
+		circ:   exec,
 	}
+	s.stats.OptPasses = passes
 	// groupIdx[l] maps a dispatch key to its index in levels[l].Dispatches,
 	// so grouping preserves first-appearance (build) order.
 	groupIdx := make([]map[string]int, maxLvl)
@@ -237,39 +311,14 @@ func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 		s.levels[l].Dispatches[di].Nodes = append(s.levels[l].Dispatches[di].Nodes, ws...)
 		s.levels[l].PBS += rotations
 	}
-	// Multi-value fan-out detection (Config.MultiValue ≥ 2): plain LUT
-	// nodes are set aside per (level, input wire, space) in build order
-	// and flushed into packed groups after the scan.
-	type fanKey struct {
-		in    Wire
-		space int
-	}
-	var fanAt []map[fanKey][]Wire
-	var fanOrder [][]fanKey
-	if cfg.MultiValue >= 2 {
-		fanAt = make([]map[fanKey][]Wire, maxLvl)
-		fanOrder = make([][]fanKey, maxLvl)
-	}
-	for i, n := range c.nodes {
+	for i, n := range exec.nodes {
 		switch n.kind {
 		case kindLin:
 			s.linAt[lvl[i]] = append(s.linAt[lvl[i]], Wire(i))
 		case kindGate:
 			join(lvl[i]-1, "g:"+n.op.String(), Dispatch{Kind: DispatchGate, Op: n.op}, 1, Wire(i))
 		case kindLUT:
-			l := lvl[i] - 1
-			if cfg.MultiValue >= 2 {
-				fk := fanKey{in: n.in, space: n.space}
-				if fanAt[l] == nil {
-					fanAt[l] = make(map[fanKey][]Wire)
-				}
-				if _, seen := fanAt[l][fk]; !seen {
-					fanOrder[l] = append(fanOrder[l], fk)
-				}
-				fanAt[l][fk] = append(fanAt[l][fk], Wire(i))
-				continue
-			}
-			join(l, lutDispatchKey(n.space, n.table), Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}, 1, Wire(i))
+			join(lvl[i]-1, lutDispatchKey(n.space, n.table), Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}, 1, Wire(i))
 		case kindMultiLUT:
 			// The head sibling carries the whole group; the group's k
 			// contiguous wires share one rotation.
@@ -285,35 +334,6 @@ func Compile(c *Circuit, cfg Config) (*Schedule, error) {
 				Dispatch{Kind: DispatchMultiLUT, Space: n.space, Tables: n.tables}, 1, ws...)
 			s.stats.MultiValueOuts += k
 			s.stats.RotationsSaved += k - 1
-		}
-	}
-	// Flush the fan-out accumulators: runs of up to MultiValue LUT nodes
-	// sharing one input become packed groups (their individual tables
-	// form the group's table list); leftovers of one fall back to plain
-	// LUT dispatches.
-	for l := range fanAt {
-		for _, fk := range fanOrder[l] {
-			ws := fanAt[l][fk]
-			for start := 0; start < len(ws); start += cfg.MultiValue {
-				end := start + cfg.MultiValue
-				if end > len(ws) {
-					end = len(ws)
-				}
-				chunk := ws[start:end]
-				if len(chunk) == 1 {
-					n := c.nodes[chunk[0]]
-					join(l, lutDispatchKey(n.space, n.table), Dispatch{Kind: DispatchLUT, Space: n.space, Table: n.table}, 1, chunk[0])
-					continue
-				}
-				tables := make([][]int, len(chunk))
-				for j, w := range chunk {
-					tables[j] = c.nodes[w].table
-				}
-				join(l, multiLUTDispatchKey(fk.space, tables),
-					Dispatch{Kind: DispatchMultiLUT, Space: fk.space, Tables: tables}, 1, chunk...)
-				s.stats.MultiValueOuts += len(chunk)
-				s.stats.RotationsSaved += len(chunk) - 1
-			}
 		}
 	}
 

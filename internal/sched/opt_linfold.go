@@ -1,0 +1,74 @@
+package sched
+
+import "repro/internal/torus"
+
+// passLinFold flattens nested linear-combination chains: every linear
+// term that references another linear node is inlined (constant and
+// coefficients scaled by the term's coefficient, with wrapping int32
+// arithmetic — exactly the composition of MulScalar calls), duplicate
+// wires merge their coefficients, and zero coefficients drop. Because
+// every evaluation step is component-wise wrapping torus arithmetic,
+// folding is bitwise-preserving. Nodes fold against already-folded
+// predecessors, so one sweep fully flattens arbitrarily deep chains.
+// Folded-out predecessors stay in place for the prune pass to collect.
+// Returns the number of linear nodes rewritten.
+func passLinFold(c *Circuit) (*Circuit, int) {
+	nodes := make([]node, len(c.nodes))
+	copy(nodes, c.nodes)
+	folded := 0
+	for i, n := range nodes {
+		if n.kind != kindLin {
+			continue
+		}
+		k := n.k
+		var order []Wire
+		coeff := make(map[Wire]int32)
+		add := func(w Wire, cf int32) {
+			if _, ok := coeff[w]; !ok {
+				order = append(order, w)
+			}
+			coeff[w] += cf
+		}
+		for _, t := range n.terms {
+			if t.C == 0 {
+				continue
+			}
+			if sub := nodes[t.W]; sub.kind == kindLin {
+				k += torus.Torus32(int32(sub.k) * t.C)
+				for _, st := range sub.terms {
+					add(st.W, st.C*t.C)
+				}
+				continue
+			}
+			add(t.W, t.C)
+		}
+		terms := make([]Term, 0, len(order))
+		for _, w := range order {
+			if cf := coeff[w]; cf != 0 {
+				terms = append(terms, Term{W: w, C: cf})
+			}
+		}
+		if k == n.k && termsEqual(terms, n.terms) {
+			continue
+		}
+		nodes[i] = node{kind: kindLin, k: k, terms: terms}
+		folded++
+	}
+	if folded == 0 {
+		return c, 0
+	}
+	return &Circuit{nodes: nodes, inputs: c.inputs, outputs: c.outputs}, folded
+}
+
+// termsEqual reports exact (order-sensitive) term-list equality.
+func termsEqual(a, b []Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

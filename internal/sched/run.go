@@ -67,22 +67,29 @@ func runLins(c *Circuit, lins []Wire, vals []tfhe.LWECiphertext, dim int) error 
 
 // Execute runs a compiled schedule over the inputs, dispatching every
 // level batch through ex and folding the free linear nodes in between.
+// Wires resolve against the schedule's (possibly optimizer-rewritten)
+// circuit; c must be the source circuit the schedule was compiled from.
 // Outputs are returned in Output declaration order. Output ciphertexts
-// are fresh except when an output wire is itself an input wire.
+// are fresh except when an output wire is itself an input wire (or, in
+// optimized schedules, when outputs merged into one node).
 func Execute(c *Circuit, s *Schedule, inputs []tfhe.LWECiphertext, ex Executor) ([]tfhe.LWECiphertext, error) {
 	if s.nodes != len(c.nodes) {
 		return nil, fmt.Errorf("sched: schedule was compiled from a %d-node circuit, got %d nodes", s.nodes, len(c.nodes))
 	}
-	if len(inputs) != len(c.inputs) {
-		return nil, fmt.Errorf("sched: circuit has %d inputs, got %d", len(c.inputs), len(inputs))
+	ec := s.circ
+	if ec == nil {
+		ec = c
 	}
-	vals := make([]tfhe.LWECiphertext, len(c.nodes))
+	if len(inputs) != len(ec.inputs) {
+		return nil, fmt.Errorf("sched: circuit has %d inputs, got %d", len(ec.inputs), len(inputs))
+	}
+	vals := make([]tfhe.LWECiphertext, len(ec.nodes))
 	dim := -1
-	for k, w := range c.inputs {
+	for k, w := range ec.inputs {
 		vals[w] = inputs[k]
 		dim = inputs[k].N()
 	}
-	if err := runLins(c, s.linAt[0], vals, dim); err != nil {
+	if err := runLins(ec, s.linAt[0], vals, dim); err != nil {
 		return nil, err
 	}
 	for l := range s.levels {
@@ -94,21 +101,21 @@ func Execute(c *Circuit, s *Schedule, inputs []tfhe.LWECiphertext, ex Executor) 
 				a := make([]tfhe.LWECiphertext, len(d.Nodes))
 				b := make([]tfhe.LWECiphertext, len(d.Nodes))
 				for j, w := range d.Nodes {
-					a[j] = vals[c.nodes[w].a]
-					b[j] = vals[c.nodes[w].b]
+					a[j] = vals[ec.nodes[w].a]
+					b[j] = vals[ec.nodes[w].b]
 				}
 				out, err = ex.Gate(d, a, b)
 			case DispatchLUT:
 				in := make([]tfhe.LWECiphertext, len(d.Nodes))
 				for j, w := range d.Nodes {
-					in[j] = vals[c.nodes[w].in]
+					in[j] = vals[ec.nodes[w].in]
 				}
 				out, err = ex.LUT(d, in)
 			case DispatchMultiLUT:
 				k := len(d.Tables)
 				in := make([]tfhe.LWECiphertext, len(d.Nodes)/k)
 				for g := range in {
-					in[g] = vals[c.nodes[d.Nodes[g*k]].in]
+					in[g] = vals[ec.nodes[d.Nodes[g*k]].in]
 				}
 				var groups [][]tfhe.LWECiphertext
 				groups, err = ex.MultiLUT(d, in)
@@ -134,12 +141,12 @@ func Execute(c *Circuit, s *Schedule, inputs []tfhe.LWECiphertext, ex Executor) 
 				vals[w] = out[j]
 			}
 		}
-		if err := runLins(c, s.linAt[l+1], vals, dim); err != nil {
+		if err := runLins(ec, s.linAt[l+1], vals, dim); err != nil {
 			return nil, err
 		}
 	}
-	outs := make([]tfhe.LWECiphertext, len(c.outputs))
-	for k, w := range c.outputs {
+	outs := make([]tfhe.LWECiphertext, len(ec.outputs))
+	for k, w := range ec.outputs {
 		outs[k] = vals[w]
 	}
 	return outs, nil

@@ -195,6 +195,26 @@ func (c *Client) CircuitBatch(circ *sched.Circuit, inputs []tfhe.LWECiphertext) 
 	return decodeCiphertexts(resp.Out, "out")
 }
 
+// CircuitBatchOptimized is CircuitBatch with the server-side optimizer
+// pass pipeline enabled: the service rewrites the circuit (CSE,
+// pruning, linear folding, bootstrap fusion, multi-value packing within
+// its parameter set) before executing it. Outputs decode identically to
+// CircuitBatch's but are not bitwise identical to them.
+func (c *Client) CircuitBatchOptimized(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	req := CircuitBatchRequest{
+		ClientID: c.id,
+		Nodes:    circ.Specs(),
+		Outputs:  circ.OutputWires(),
+		Inputs:   encodeCiphertexts(inputs),
+		Optimize: true,
+	}
+	var resp BatchResponse
+	if err := c.post("/v1/circuit-batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return decodeCiphertexts(resp.Out, "out")
+}
+
 // LUTBatch applies the lookup table (length space, entries in
 // {0..space-1}) to every ciphertext on the server.
 func (c *Client) LUTBatch(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {

@@ -86,6 +86,13 @@ type CircuitBatchRequest struct {
 	Nodes    []sched.NodeSpec `json:"nodes"`
 	Outputs  []int            `json:"outputs"`
 	Inputs   [][]byte         `json:"inputs"` // wire-encoded LWE ciphertexts
+	// Optimize asks the server to run the scheduler's full optimizer
+	// pass pipeline (CSE, pruning, linear folding, bootstrap fusion,
+	// multi-value packing bounded by the session's parameter set) before
+	// execution. Outputs then decode identically to the unoptimized
+	// circuit but are not bitwise identical; leave false for the
+	// bitwise-reproducible path.
+	Optimize bool `json:"optimize,omitempty"`
 }
 
 // BatchResponse carries the result ciphertexts of a gate, LUT, or
@@ -322,7 +329,7 @@ func (s *Server) handleCircuitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	out, err := s.CircuitBatch(req.ClientID, req.Nodes, req.Outputs, inputs)
+	out, err := s.circuitBatch(req.ClientID, req.Nodes, req.Outputs, inputs, req.Optimize)
 	if err != nil {
 		writeError(w, err)
 		return

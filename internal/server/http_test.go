@@ -247,3 +247,48 @@ func TestHTTPCircuitBatch(t *testing.T) {
 		t.Error("input count mismatch accepted over HTTP")
 	}
 }
+
+// TestHTTPCircuitBatchOptimized runs the multiplication DAG through the
+// circuit endpoint with the optimize flag: the server-side pass pipeline
+// rewrites the circuit (fewer rotations than the naive schedule), and
+// the outputs still decrypt to the right product. Bitwise equality with
+// the unoptimized reply is explicitly NOT promised — fusion and packing
+// re-synthesize bootstraps — so this test pins the decode contract.
+func TestHTTPCircuitBatchOptimized(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := Dial(ts.URL, "opt")
+	if err := client.RegisterKey(ek); err != nil {
+		t.Fatal(err)
+	}
+
+	const digits = 2
+	circ, err := intops.MulCircuit(digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(82))
+	x, _ := intops.Encrypt(rng, sk, 13, digits)
+	y, _ := intops.Encrypt(rng, sk, 9, digits)
+	inputs := append(append([]tfhe.LWECiphertext{}, x.Digits...), y.Digits...)
+
+	got, err := client.CircuitBatchOptimized(circ, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := intops.Decrypt(sk, intops.Int{Digits: got}); dec != (13*9)%16 {
+		t.Errorf("optimized product = %d, want %d", dec, (13*9)%16)
+	}
+	// The unoptimized path still works side by side on the same session.
+	plain, err := client.CircuitBatch(circ, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := intops.Decrypt(sk, intops.Int{Digits: plain}); dec != (13*9)%16 {
+		t.Errorf("unoptimized product = %d, want %d", dec, (13*9)%16)
+	}
+}

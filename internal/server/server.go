@@ -582,6 +582,21 @@ func (s *Server) MultiLUTBatch(clientID string, cts []tfhe.LWECiphertext, space 
 // circuits — and plain gate/LUT batches — coalesce into shared engine
 // streams whenever their dispatch keys match.
 func (s *Server) CircuitBatch(clientID string, specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return s.circuitBatch(clientID, specs, outputs, inputs, false)
+}
+
+// CircuitBatchOptimized is CircuitBatch with the scheduler's optimizer
+// pass pipeline enabled: the circuit is rewritten (CSE, pruning, linear
+// folding, bootstrap fusion, multi-value packing bounded by the
+// session's parameter set) before levelization. Outputs decode
+// identically to CircuitBatch's but are not bitwise identical.
+func (s *Server) CircuitBatchOptimized(clientID string, specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return s.circuitBatch(clientID, specs, outputs, inputs, true)
+}
+
+// circuitBatch is the shared circuit-batch path; optimize selects the
+// optimizer pass pipeline.
+func (s *Server) circuitBatch(clientID string, specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext, optimize bool) ([]tfhe.LWECiphertext, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
@@ -590,7 +605,7 @@ func (s *Server) CircuitBatch(clientID string, specs []sched.NodeSpec, outputs [
 	if err != nil {
 		return nil, err
 	}
-	circ, schedule, err := sess.validateCircuit(specs, outputs, inputs, s.cfg)
+	circ, schedule, err := sess.validateCircuit(specs, outputs, inputs, s.cfg, optimize)
 	if err != nil {
 		return nil, err
 	}

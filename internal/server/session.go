@@ -291,7 +291,11 @@ func (s *session) validateMultiLUT(cts []tfhe.LWECiphertext, space int, tables [
 // input), then each compiled dispatch is bounded like a standalone batch.
 // StreamOnly routing matches what the executor actually does: a session
 // only has a streaming engine, and coalescing happens per dispatch key.
-func (s *session) validateCircuit(specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext, cfg Config) (*sched.Circuit, *sched.Schedule, error) {
+// optimize enables the full optimizer pass pipeline, with the
+// multi-value budget bound to the session's parameter set so the
+// rewrite never packs past space·k ≤ N; node and dispatch bounds apply
+// to the incoming specs and to the schedule that actually executes.
+func (s *session) validateCircuit(specs []sched.NodeSpec, outputs []int, inputs []tfhe.LWECiphertext, cfg Config, optimize bool) (*sched.Circuit, *sched.Schedule, error) {
 	fail := func(err error) (*sched.Circuit, *sched.Schedule, error) {
 		s.rejected.Add(1)
 		return nil, nil, err
@@ -318,7 +322,12 @@ func (s *session) validateCircuit(specs []sched.NodeSpec, outputs []int, inputs 
 	if err := s.checkDims(inputs); err != nil {
 		return fail(err)
 	}
-	schedule, err := sched.Compile(circ, sched.Config{Mode: sched.StreamOnly})
+	scfg := sched.Config{Mode: sched.StreamOnly}
+	if optimize {
+		scfg.Opt = sched.OptAll()
+		scfg.Opt.MultiValueBudget = s.params.N
+	}
+	schedule, err := sched.Compile(circ, scfg)
 	if err != nil {
 		return fail(fmt.Errorf("server: bad circuit: %w", err))
 	}

@@ -285,3 +285,61 @@ func TestReLUTestVectorValue(t *testing.T) {
 		t.Error("positive input should pass through")
 	}
 }
+
+// TestBuildNNOptimized runs the mini deep-NN circuit through the
+// scheduler's optimizer pass pipeline: CSE deduplicates neurons that
+// share a fan-in pair (width > fan-in wires guarantees at least one)
+// and the outputs still match the plaintext reference.
+func TestBuildNNOptimized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	layers := []int{4, 4, 2}
+	in := []int{1, 3, 2}
+
+	b := sched.NewBuilder()
+	ws := b.Inputs(len(in))
+	outs, err := BuildNN(b, ws, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Output(outs...)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cts := make([]tfhe.LWECiphertext, len(in))
+	for i, m := range in {
+		cts[i] = sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(m, NNSpace), tfhe.ParamsTest.LWEStdDev)
+	}
+
+	opt := sched.OptAll()
+	opt.MultiValueBudget = tfhe.ParamsTest.N
+	sch, err := sched.Compile(c, sched.Config{Opt: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := sched.Compile(c, sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Stats().TotalPBS >= naive.Stats().TotalPBS {
+		t.Errorf("optimizer saved nothing: %d PBS vs naive %d (width 4 over 3 wires must dedup)",
+			sch.Stats().TotalPBS, naive.Stats().TotalPBS)
+	}
+
+	r := &sched.Runner{Batch: engine.New(ek, engine.Config{Workers: 2})}
+	got, err := r.RunSchedule(c, sch, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NNReference(in, layers)
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(got), len(want))
+	}
+	for k := range got {
+		if dec := tfhe.DecodePBSMessage(sk.LWE.Phase(got[k]), NNSpace); dec != want[k] {
+			t.Errorf("output %d decrypts to %d, want %d", k, dec, want[k])
+		}
+	}
+}

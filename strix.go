@@ -289,6 +289,40 @@ func (c *FHEContext) RunSchedule(circ *Circuit, s *Schedule, inputs []tfhe.LWECi
 	return c.Runner().RunSchedule(circ, s, inputs)
 }
 
+// OptConfig selects the scheduler's optimizer passes (CSE, dead-node
+// pruning, linear-chain folding, bootstrap fusion, multi-value packing).
+type OptConfig = sched.OptConfig
+
+// PassStat is one optimizer pass's accounting in Schedule stats.
+type PassStat = sched.PassStat
+
+// OptAll enables every optimizer pass with the default packing width.
+func OptAll() OptConfig { return sched.OptAll() }
+
+// Optimize runs the selected passes over a circuit without compiling
+// it, returning the rewritten circuit and per-pass accounting. Most
+// callers instead set ScheduleConfig.Opt and let Compile optimize.
+func Optimize(circ *Circuit, opt OptConfig) (*Circuit, []PassStat, error) {
+	return sched.Optimize(circ, opt)
+}
+
+// OptimizedConfig is the context's recommended optimizing compile
+// configuration: every pass on, with the multi-value packing budget
+// bound to the context's parameter set so packed groups always satisfy
+// space·k ≤ N. Outputs of schedules compiled this way decode
+// identically to the unoptimized circuit but are not bitwise identical.
+func (c *FHEContext) OptimizedConfig() ScheduleConfig {
+	opt := sched.OptAll()
+	opt.MultiValueBudget = c.Params.N
+	return ScheduleConfig{Opt: opt}
+}
+
+// RunCircuitOptimized is RunCircuit with the optimizer pass pipeline
+// enabled under OptimizedConfig.
+func (c *FHEContext) RunCircuitOptimized(circ *Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	return c.Runner().Run(circ, c.OptimizedConfig(), inputs)
+}
+
 // ServiceConfig tunes the networked gate service (session bounds,
 // backpressure, coalescing, and per-session streaming stage widths).
 type ServiceConfig = server.Config

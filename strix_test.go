@@ -315,3 +315,49 @@ func TestFHEContextMultiLUT(t *testing.T) {
 		t.Errorf("circuit MultiLUT output 1 = %d, want %d", d1, inc(2))
 	}
 }
+
+// TestFHEContextOptimized covers the facade's optimizer surface: the
+// full-adder circuit compiled under OptimizedConfig fuses its gate
+// chains to fewer rotations, RunCircuitOptimized still decodes to the
+// truth table, and standalone Optimize reports the pass accounting.
+func TestFHEContextOptimized(t *testing.T) {
+	ctx, err := NewFHEContext("test", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewCircuitBuilder()
+	x, y := b.Input(), b.Input()
+	// AND feeding NAND with no other consumer: fuses to one rotation.
+	b.Output(b.Gate(NAND, b.Gate(AND, x, y), b.Not(y)))
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oc, passes, err := Optimize(circ, OptAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc == circ || len(passes) == 0 {
+		t.Fatal("Optimize reported no work on a fusible circuit")
+	}
+
+	sch, err := ctx.Compile(circ, ctx.OptimizedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sch.Stats(); st.TotalPBS >= 2 || len(st.OptPasses) == 0 {
+		t.Fatalf("optimized schedule = %+v, want the 2-gate chain fused below 2 PBS", st)
+	}
+
+	for _, bits := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+		outs, err := ctx.RunCircuitOptimized(circ, ctx.EncryptBools(bits[:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !((bits[0] && bits[1]) && !bits[1])
+		if got := ctx.DecryptBool(outs[0]); got != want {
+			t.Errorf("optimized circuit(%v) = %v, want %v", bits, got, want)
+		}
+	}
+}
