@@ -11,15 +11,16 @@ GO ?= go
 COVER_FLOOR ?= 73.0
 
 # The benchmarks behind the perf trajectory (BENCH_pbs.json): the two
-# engines, the circuit scheduler, and multi-value PBS. benchjson derives
-# the CI-gated machine-portable ratios from these, so the regexp must
-# keep matching every benchmark cmd/benchjson's gatedRatios table names.
-BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore
+# engines, the circuit scheduler, multi-value PBS, and the fast-vs-
+# reference FFT kernel comparison. benchjson derives the CI-gated
+# machine-portable ratios from these, so the regexp must keep matching
+# every benchmark cmd/benchjson's gatedRatios table names.
+BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore|BenchmarkPBS
 # Allowed fractional regression of a gated ratio before the perf CI job
 # fails (see cmd/benchjson).
 BENCH_TOLERANCE = 0.25
 
-.PHONY: all build test race cover fuzz-regress bench bench-smoke bench-stream bench-json bench-check lint fmt fmt-check vet docs
+.PHONY: all build test test-purego race cover fuzz-regress bench bench-smoke bench-stream bench-json bench-check lint fmt fmt-check vet docs
 
 all: build test
 
@@ -28,6 +29,14 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The pure-Go build: the `purego` tag excludes the unsafe fast FFT
+# kernels so everything runs on the reference implementations. Keeps the
+# fallback honest — the fast path must stay an optimization, never a
+# requirement.
+test-purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego ./internal/fft/... ./internal/tfhe/... ./internal/conformance/...
 
 # The concurrent packages: the worker-pool and streaming engines, the
 # circuit scheduler that feeds them, the shared FFT processor pool they
@@ -56,7 +65,9 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One iteration per benchmark: proves every benchmark still runs without
-# paying for stable numbers.
+# paying for stable numbers. `./...` includes the BenchmarkFFT* kernel
+# benchmarks in internal/fft and BenchmarkPBS at the root, so both fast
+# and reference kernel paths get exercised on every CI run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fft"
 	"repro/internal/intops"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
@@ -105,6 +106,44 @@ func BenchmarkTable5FunctionalPBS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ev.EvalLUTKS(ct, 8, func(x int) int { return (x + 1) % 8 })
 	}
+}
+
+// BenchmarkPBS measures the raw programmable bootstrap — modswitch, blind
+// rotation (the CMux/external-product burst), sample extract — under both
+// FFT kernel sets. fast is the unsafe vectorized datapath the engines run
+// by default; ref is the pure-Go bitwise reference. The fast/ref pair
+// feeds the CI perf gate's pbs_fast_vs_ref ratio (cmd/benchjson, absolute
+// floor 1.2): the ratio is a same-run quotient, so it holds on any
+// machine, and the conformance suite separately pins that the two paths
+// agree bitwise.
+func BenchmarkPBS(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	ct := sk.LWE.Encrypt(rng, tfhe.EncodePBSMessage(3, 8), tfhe.ParamsTest.LWEStdDev)
+	run := func(b *testing.B) {
+		ev := tfhe.NewEvaluator(ek)
+		tv := ev.LUTTestVector(8, func(x int) int { return (x + 1) % 8 })
+		ev.Bootstrap(ct, tv) // warm scratch and twiddles off the clock
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Bootstrap(ct, tv)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "PBS/s")
+		b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e9, "ns/PBS")
+	}
+	b.Run("fast", func(b *testing.B) {
+		if !fft.FastKernelAvailable() {
+			b.Skip("purego build")
+		}
+		prev := fft.SetFastKernel(true)
+		defer fft.SetFastKernel(prev)
+		run(b)
+	})
+	b.Run("ref", func(b *testing.B) {
+		prev := fft.SetFastKernel(false)
+		defer fft.SetFastKernel(prev)
+		run(b)
+	})
 }
 
 // BenchmarkTable6Folding evaluates both FFT configurations and reports the

@@ -95,6 +95,13 @@ var gatedRatios = []gatedRatio{
 	// the in-memory store. The floor is deliberately loose — it catches
 	// an fsync-on-read or per-request reopen regression, not disk speed.
 	{name: "restore_disk_vs_mem", num: "BenchmarkSessionRestore/disk", den: "BenchmarkSessionRestore/mem", unit: "sessions/s", min: 0.25},
+	// The PR-8 tentpole claim: the unsafe-vectorized FFT kernels must
+	// make whole bootstraps at least 1.2× faster than the pure-Go
+	// reference kernels on the same machine in the same run. Both sides
+	// execute identical arithmetic (the reference-kernel conformance
+	// backend pins them bitwise-equal), so the ratio isolates the
+	// pointer-walk/unrolling win and holds on a single core.
+	{name: "pbs_fast_vs_ref", num: "BenchmarkPBS/fast", den: "BenchmarkPBS/ref", unit: "PBS/s", min: 1.2},
 }
 
 // metricOf returns a benchmark metric, accepting gates/s as an alias for

@@ -27,6 +27,8 @@ BenchmarkMultiLUT/k=2-8            	       5	   5200000 ns/op	       385.0 LUT/s
 BenchmarkMultiLUT/k=4-8            	       5	   5500000 ns/op	       727.0 LUT/s
 BenchmarkSessionRestore/mem-8      	       5	   1600000 ns/op	       625.0 sessions/s
 BenchmarkSessionRestore/disk-8     	       5	   2000000 ns/op	       500.0 sessions/s
+BenchmarkPBS/fast-8                	       5	    800000 ns/op	      1250.0 PBS/s	    800000 ns/PBS
+BenchmarkPBS/ref-8                 	       5	   1200000 ns/op	       833.3 PBS/s	   1200000 ns/PBS
 PASS
 ok  	repro	12.3s
 `
@@ -57,6 +59,9 @@ func TestParseBench(t *testing.T) {
 	if got := f.Gated["optimized_vs_naive"]; got != 1.6 {
 		t.Errorf("optimized ratio = %v, want 1.6", got)
 	}
+	if got := f.Gated["pbs_fast_vs_ref"]; got != 1250.0/833.3 {
+		t.Errorf("pbs kernel ratio = %v, want %v", got, 1250.0/833.3)
+	}
 }
 
 func TestParseBenchMissingGateBenchmark(t *testing.T) {
@@ -80,7 +85,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A regressed ratio inside the band passes, outside it fails.
 	regressed := *base
-	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3}
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3, "pbs_fast_vs_ref": 1.5}
 	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
 		t.Errorf("20%% regression inside 25%% band failed: %v", err)
 	}
@@ -89,7 +94,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A gate missing from the current run fails.
 	missing := *base
-	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6}
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
 	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
 		t.Error("gate missing from current run passed")
 	}
@@ -129,28 +134,28 @@ func TestCompareAbsoluteFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	low := *base
-	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6}
+	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
 	// 1.4 is within 25% of the 3.635 baseline? No — but force the band
 	// wide enough that only the absolute floor can catch it.
 	if err := compare(base, &low, 0.99, os.Stderr); err == nil {
 		t.Error("multilut ratio below the 1.5 absolute floor passed")
 	}
 	ok := *base
-	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6}
+	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
 	if err := compare(base, &ok, 0.99, os.Stderr); err != nil {
 		t.Errorf("multilut ratio above the absolute floor failed: %v", err)
 	}
 	// The restore floor (0.25) is absolute too: a disk path that
 	// collapses below it fails even inside a wide tolerance band.
 	slow := *base
-	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2}
+	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
 	if err := compare(base, &slow, 0.99, os.Stderr); err == nil {
 		t.Error("restore ratio below the 0.25 absolute floor passed")
 	}
 	// The optimizer gate's 1.1 floor: an "optimization" that is a wash
 	// or a slowdown fails regardless of the baseline band.
 	wash := *base
-	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0}
+	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0, "pbs_fast_vs_ref": 1.5}
 	if err := compare(base, &wash, 0.99, os.Stderr); err == nil {
 		t.Error("optimized ratio below the 1.1 absolute floor passed")
 	}
@@ -166,7 +171,7 @@ func TestSmoke(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
-	cmdtest.WantSubstrings(t, out, "wrote", "5 gated ratios")
+	cmdtest.WantSubstrings(t, out, "wrote", "6 gated ratios")
 
 	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
 	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut")

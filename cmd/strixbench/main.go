@@ -11,6 +11,7 @@
 //	strixbench -batch 256              # measured vs predicted PBS/s, NumCPU workers
 //	strixbench -batch 256 -parallel 4  # ... with an explicit worker count
 //	strixbench -batch 64 -set I        # ... on a full-scale parameter set (slow)
+//	strixbench -batch 256 -kernel ref  # ... on the pure-Go reference FFT kernels
 //	strixbench -stream 256             # two-level streaming pipeline PBS/s
 //	strixbench -stream 256 -parallel 4 # ... with 4 blind-rotate workers
 //	strixbench -serve -clients 4       # end-to-end gate service PBS/s
@@ -35,6 +36,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fft"
 	"repro/internal/intops"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
@@ -652,7 +654,21 @@ func main() {
 	gates := flag.Int("gates", 64, "serve mode: gates per client batch")
 	parallel := flag.Int("parallel", 0, "batch/stream/serve mode: worker count (0 = NumCPU)")
 	set := flag.String("set", "test", "batch/stream/serve mode: parameter set")
+	kernel := flag.String("kernel", "fast", "FFT kernel set: fast (unsafe-vectorized, default) or ref (pure-Go reference)")
 	flag.Parse()
+
+	switch *kernel {
+	case "fast":
+		if !fft.FastKernelAvailable() {
+			fmt.Println("kernel   : reference (fast kernels excluded from this build)")
+		}
+	case "ref":
+		fft.SetFastKernel(false)
+		fmt.Println("kernel   : reference (forced by -kernel ref)")
+	default:
+		fmt.Fprintf(os.Stderr, "strixbench: unknown -kernel %q (want fast or ref)\n", *kernel)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

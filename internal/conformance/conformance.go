@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/engine"
+	"repro/internal/fft"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/tfhe"
@@ -118,11 +119,12 @@ func NewFixture(seed int64) (*Fixture, error) {
 		serverBackend{cl: cl},
 		restoredBackend{serverBackend{cl: clRest}},
 		optimizedBackend{schedBackend{r: runner, cfg: sched.Config{Opt: opt}}},
+		referenceKernelBackend{seqBackend{ev: tfhe.NewEvaluator(ek)}},
 	}
 	return f, nil
 }
 
-// Backends returns the seven backends; index 0 is the sequential
+// Backends returns the eight backends; index 0 is the sequential
 // reference every other backend must match — bitwise when the backend's
 // Bitwise() promise holds, by decoded plaintext otherwise.
 func (f *Fixture) Backends() []Backend { return f.backends }
@@ -366,3 +368,43 @@ type optimizedBackend struct {
 func (optimizedBackend) Name() string { return "optimized-scheduled" }
 
 func (optimizedBackend) Bitwise() bool { return false }
+
+// referenceKernelBackend is the sequential evaluator with the unsafe fast
+// FFT kernels disabled for the duration of each operation, forcing the
+// pure-Go reference kernels. The fast path promises bitwise-identical
+// arithmetic, so this backend's contract against the (fast-kernel)
+// sequential reference is full bitwise equality: the suite pins
+// fast == reference on every public operation. In a purego build the
+// kernel switch is a no-op and the backend degenerates to a second
+// sequential evaluator. The kernel selection is process-global, so this
+// backend must not run concurrently with other backends' operations —
+// the suite runs backends one at a time.
+type referenceKernelBackend struct {
+	seqBackend
+}
+
+func (referenceKernelBackend) Name() string { return "reference-kernel" }
+
+func (r referenceKernelBackend) Gate(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	prev := fft.SetFastKernel(false)
+	defer fft.SetFastKernel(prev)
+	return r.seqBackend.Gate(op, a, b)
+}
+
+func (r referenceKernelBackend) LUT(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
+	prev := fft.SetFastKernel(false)
+	defer fft.SetFastKernel(prev)
+	return r.seqBackend.LUT(cts, space, table)
+}
+
+func (r referenceKernelBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
+	prev := fft.SetFastKernel(false)
+	defer fft.SetFastKernel(prev)
+	return r.seqBackend.MultiLUT(cts, space, tables)
+}
+
+func (r referenceKernelBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
+	prev := fft.SetFastKernel(false)
+	defer fft.SetFastKernel(prev)
+	return r.seqBackend.Circuit(circ, inputs)
+}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/tfhe"
 )
 
-// fixture is shared by every test in the package: one key set, seven live
+// fixture is shared by every test in the package: one key set, eight live
 // backends (keygen plus service registration is the expensive part).
 var fixture *Fixture
 
@@ -298,11 +298,13 @@ func TestCircuitConform(t *testing.T) {
 	}
 }
 
-// TestBackendNames pins that the seven backends are present, uniquely
+// TestBackendNames pins that the eight backends are present, uniquely
 // named, led by the sequential reference, and that exactly the
-// optimizing backend relaxes the bitwise promise.
+// optimizing backend relaxes the bitwise promise. The reference-kernel
+// backend rides last: it promises bitwise equality while running the
+// pure-Go kernels, which is what holds the fast path to the reference.
 func TestBackendNames(t *testing.T) {
-	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled"}
+	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled", "reference-kernel"}
 	bes := fixture.Backends()
 	if len(bes) != len(want) {
 		t.Fatalf("%d backends, want %d", len(bes), len(want))

@@ -22,11 +22,12 @@ import (
 // with two levels of batching. Level 1 batches across ciphertexts: every
 // stage works on a different ciphertext at the same time, and stage setup
 // (the encoded test vector or LUT, built once in prepare) is shared by the
-// whole stream. Level 2 batches within a stage: each CMux step decomposes
-// all (k+1)·lb digit polynomials of the step and runs their forward FFTs
-// as one batched call (see tfhe.ExternalProductAcc and the fft batch entry
-// points). The PBS→KS handoff is fused into the pipeline, so extraction
-// output never round-trips through the caller.
+// whole stream. Level 2 batches within a stage: each CMux step streams
+// all (k+1)·lb digit polynomials of the step through fused decompose→FFT
+// bursts — digit extraction writes twisted Fourier points directly, with
+// no intermediate digit staging (see tfhe.ExternalProductAcc and
+// fft.Processor.ForwardDecompose). The PBS→KS handoff is fused into the
+// pipeline, so extraction output never round-trips through the caller.
 //
 // Every stage runs the exact computation of the sequential
 // tfhe.Evaluator's corresponding step, in the same per-ciphertext order,

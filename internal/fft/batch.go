@@ -42,7 +42,8 @@ func (p *Processor) ForwardTorusBatchTo(dsts []FourierPoly, srcs []poly.Poly) {
 
 // InverseBatchTo transforms each Fourier polynomial fps[i] back into the
 // time domain, adding the rounded result into dsts[i] (the additive
-// Accumulator Unit convention of InverseTo). Every fps[i] is clobbered.
+// Accumulator Unit convention of InverseTo). Like InverseTo, it leaves
+// every fps[i] intact: the butterfly passes run in pooled scratch.
 func (p *Processor) InverseBatchTo(dsts []poly.Poly, fps []FourierPoly) {
 	if len(dsts) != len(fps) {
 		panic("fft: InverseBatchTo batch size mismatch")

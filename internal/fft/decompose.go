@@ -1,0 +1,71 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+)
+
+// ForwardDecompose fuses gadget decomposition with the forward-transform
+// load: for each folded coefficient pair it extracts all Level digits once
+// and writes each digit level directly into its Fourier buffer with the
+// twist factor applied, then runs the butterfly stages per level. This
+// replaces the DecomposePolyTo → ForwardIntBatchTo sequence in the
+// external product, eliminating the intermediate [][]int32 digit staging
+// entirely (the Strix Decomposer Unit likewise streams digits straight
+// into the FFT array, §V-B).
+//
+// The result is bitwise identical to the unfused sequence: digit
+// extraction is exact integer math and the load expression has the same
+// shape as ForwardIntTo's. The reference load extracts digits with
+// Decomposer.DigitsTo; the fast load uses a branchless extractor with
+// unchecked stores, producing identical digits (pinned by test). dsts
+// must hold exactly dec.Level buffers of size M; each is fully
+// overwritten. src is read-only.
+func (p *Processor) ForwardDecompose(dsts []FourierPoly, dec poly.Decomposer, src poly.Poly) {
+	lb := dec.Level
+	if len(dsts) != lb {
+		panic(fmt.Sprintf("fft: ForwardDecompose level mismatch (got %d buffers, decomposer level %d)", len(dsts), lb))
+	}
+	if src.N() != p.n {
+		panic("fft: ForwardDecompose size mismatch")
+	}
+	for l := range dsts {
+		if len(dsts[l]) != p.m {
+			panic("fft: ForwardDecompose size mismatch")
+		}
+	}
+	if fastKernelOn() {
+		p.decompLoadFast(dsts, dec, src)
+	} else {
+		p.decompLoadRef(dsts, dec, src)
+	}
+	for l := range dsts {
+		p.forwardStages(dsts[l])
+	}
+}
+
+// decompLoadRef is the reference fused load: per folded coefficient pair,
+// extract all digits via Decomposer.DigitsTo into stack scratch and write
+// each level with the twist applied. NewDecomposer caps Level at 32, so
+// the scratch stays on the stack; a hand-built larger decomposer falls
+// back to the heap.
+func (p *Processor) decompLoadRef(dsts []FourierPoly, dec poly.Decomposer, src poly.Poly) {
+	lb := dec.Level
+	var stackA, stackB [32]int32
+	da, db := stackA[:], stackB[:]
+	if lb > len(da) {
+		da, db = make([]int32, lb), make([]int32, lb)
+	}
+	da, db = da[:lb], db[:lb]
+	m := p.m
+	for j := 0; j < m; j++ {
+		dec.DigitsTo(da, src.Coeffs[j])
+		dec.DigitsTo(db, src.Coeffs[j+m])
+		tr, ti := p.twist[2*j], p.twist[2*j+1]
+		for l := 0; l < lb; l++ {
+			ar, ai := float64(da[l]), float64(db[l])
+			dsts[l][j] = complex(ar*tr-ai*ti, ar*ti+ai*tr)
+		}
+	}
+}

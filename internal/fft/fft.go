@@ -3,8 +3,6 @@ package fft
 import (
 	"fmt"
 	"math"
-	"math/bits"
-	"math/cmplx"
 	"sync"
 
 	"repro/internal/poly"
@@ -13,21 +11,65 @@ import (
 
 // FourierPoly is a polynomial in the folded Fourier domain: N/2 complex
 // evaluations at the odd 2N-th roots of unity (one per conjugate pair).
+// The evaluations are stored in kernel order — the digit-reversed order
+// the radix-4/radix-2 decimation-in-frequency forward transform emits —
+// not in ascending root order. Kernel order is an implementation detail:
+// it is consistent between the forward and inverse transforms and across
+// the pointwise Mul/MulAcc operations, which is all the negacyclic
+// convolution needs, and skipping the reordering pass is part of what
+// makes the kernels fast.
 type FourierPoly []complex128
 
+// stage is one butterfly pass of the iterative transform. Radix-4 stages
+// carry a packed twiddle table walked sequentially by the inner loop —
+// six floats (w^k, w^2k, w^3k as re/im pairs) per butterfly index k,
+// shared by every block of the stage. The final radix-2 stage of an
+// odd-log2 size (and the trivial first inverse stages) need no twiddles.
+type stage struct {
+	size int       // butterfly block size s
+	tw   []float64 // packed twiddles; nil for radix-2
+}
+
 // Processor performs folded negacyclic FFTs for a fixed polynomial size N.
-// It precomputes twiddle factors and twists; create one per N with
-// NewProcessor and reuse it (it is safe for concurrent use, as all methods
-// only read the precomputed tables and write to caller-provided buffers).
+// It precomputes per-stage twiddle tables and the twist/fold tables; create
+// one per N with NewProcessor and reuse it (it is safe for concurrent use,
+// as all methods only read the precomputed tables and write to
+// caller-provided buffers or pooled scratch).
+//
+// Aliasing and in-place contracts of the entry points:
+//
+//   - ForwardTorusTo / ForwardIntTo / ForwardDecompose: dst is fully
+//     overwritten; src is read-only. dst must not alias src storage.
+//   - InverseTo / InverseBatchTo: fp is READ-ONLY (the transform runs in
+//     pooled processor scratch) and the rounded result is ADDED into dst,
+//     so a Fourier accumulator can be inverse-transformed and then reused.
+//   - Mul / MulAcc: dst/acc may alias a or b; all operands must have equal
+//     length (mismatches panic).
 type Processor struct {
-	n     int          // polynomial size N (power of two)
-	m     int          // FFT size N/2
-	twist []complex128 // e^(iπ j / N), j = 0..N/2-1
-	wFwd  []complex128 // forward stage twiddles, e^(+2πi j / M) powers
-	wInv  []complex128 // inverse stage twiddles, e^(-2πi j / M) powers
-	rev   []int        // bit-reversal permutation for size M
+	n int // polynomial size N (power of two)
+	m int // FFT size N/2
+
+	// twist holds e^(iπ j / N) as interleaved re/im pairs; multiplied in
+	// during the forward load/convert pass (folding the two real halves
+	// into one complex polynomial).
+	twist []float64
+	// untwist holds conj(twist[j]) / m as interleaved re/im pairs: the
+	// inverse fold and the 1/m scaling pre-combined, applied inside the
+	// final inverse butterfly stage.
+	untwist []float64
+
+	fwd []stage // forward DIF stages, sizes descending m … 4 (then 2)
+	inv []stage // inverse DIT stages, sizes ascending (2) 4 … m
 
 	bufPool sync.Pool // *FourierPoly scratch buffers (see GetBuffer)
+	invPool sync.Pool // *invScratch inverse-transform scratch
+}
+
+// invScratch wraps the inverse-transform scratch buffer so the sync.Pool
+// round-trips one stable pointer (Put of a freshly boxed slice header
+// would allocate on every inverse call).
+type invScratch struct {
+	buf []complex128
 }
 
 // NewProcessor returns a Processor for negacyclic polynomials of size n
@@ -38,23 +80,46 @@ func NewProcessor(n int) *Processor {
 	}
 	m := n / 2
 	p := &Processor{n: n, m: m}
-	p.twist = make([]complex128, m)
+	p.twist = make([]float64, 2*m)
+	p.untwist = make([]float64, 2*m)
+	invM := 1.0 / float64(m)
 	for j := 0; j < m; j++ {
-		p.twist[j] = cmplx.Exp(complex(0, math.Pi*float64(j)/float64(n)))
+		ang := math.Pi * float64(j) / float64(n)
+		c, s := math.Cos(ang), math.Sin(ang)
+		p.twist[2*j], p.twist[2*j+1] = c, s
+		p.untwist[2*j], p.untwist[2*j+1] = c*invM, -s*invM
 	}
-	p.wFwd = make([]complex128, m/2)
-	p.wInv = make([]complex128, m/2)
-	for j := 0; j < m/2; j++ {
-		ang := 2 * math.Pi * float64(j) / float64(m)
-		p.wFwd[j] = cmplx.Exp(complex(0, ang))
-		p.wInv[j] = cmplx.Exp(complex(0, -ang))
-	}
-	p.rev = make([]int, m)
-	shift := bits.UintSize - uint(bits.Len(uint(m-1)))
-	for i := 0; i < m; i++ {
-		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	p.fwd = buildStages(m, +1)
+	p.inv = buildStages(m, -1)
+	// The inverse runs the mirrored stage sequence smallest-first.
+	for i, j := 0, len(p.inv)-1; i < j; i, j = i+1, j-1 {
+		p.inv[i], p.inv[j] = p.inv[j], p.inv[i]
 	}
 	return p
+}
+
+// buildStages precomputes the butterfly passes for FFT size m: radix-4
+// stages of size m, m/4, … and, when log2(m) is odd, one trailing radix-2
+// stage. sign +1 builds the forward twiddles e^(+2πi rk/s); −1 the
+// conjugate inverse tables.
+func buildStages(m int, sign float64) []stage {
+	var stages []stage
+	s := m
+	for ; s >= 4; s >>= 2 {
+		q := s >> 2
+		tw := make([]float64, 0, 6*q)
+		for k := 0; k < q; k++ {
+			for r := 1; r <= 3; r++ {
+				ang := sign * 2 * math.Pi * float64(r*k) / float64(s)
+				tw = append(tw, math.Cos(ang), math.Sin(ang))
+			}
+		}
+		stages = append(stages, stage{size: s, tw: tw})
+	}
+	if s == 2 {
+		stages = append(stages, stage{size: 2})
+	}
+	return stages
 }
 
 // N returns the polynomial size.
@@ -66,42 +131,53 @@ func (p *Processor) M() int { return p.m }
 // NewFourierPoly allocates a zero FourierPoly of the right size.
 func (p *Processor) NewFourierPoly() FourierPoly { return make(FourierPoly, p.m) }
 
-// fftInPlace computes the in-place radix-2 DIT FFT of buf (length m) using
-// the given twiddle table (wFwd for exponent +, wInv for exponent -).
-func (p *Processor) fftInPlace(buf []complex128, w []complex128) {
-	m := p.m
-	for i := 0; i < m; i++ {
-		if j := p.rev[i]; j > i {
-			buf[i], buf[j] = buf[j], buf[i]
-		}
+// getInvScratch returns an m-sized inverse scratch buffer from the pool.
+func (p *Processor) getInvScratch() *invScratch {
+	if v := p.invPool.Get(); v != nil {
+		return v.(*invScratch)
 	}
-	for size := 2; size <= m; size <<= 1 {
-		half := size >> 1
-		step := m / size
-		for start := 0; start < m; start += size {
-			for k := 0; k < half; k++ {
-				tw := w[k*step]
-				a := buf[start+k]
-				b := buf[start+k+half] * tw
-				buf[start+k] = a + b
-				buf[start+k+half] = a - b
+	return &invScratch{buf: make([]complex128, p.m)}
+}
+
+// putInvScratch returns scratch obtained from getInvScratch.
+func (p *Processor) putInvScratch(s *invScratch) { p.invPool.Put(s) }
+
+// forwardStages runs the full forward DIF pass sequence in place on buf,
+// dispatching to the unsafe fast kernels when enabled.
+func (p *Processor) forwardStages(buf []complex128) {
+	if fastKernelOn() {
+		for _, st := range p.fwd {
+			if st.size >= 4 {
+				fwdStage4Fast(buf, st.size, st.tw)
+			} else {
+				fwdStage2Fast(buf)
 			}
+		}
+		return
+	}
+	for _, st := range p.fwd {
+		if st.size >= 4 {
+			fwdStage4Ref(buf, st.size, st.tw)
+		} else {
+			fwdStage2Ref(buf)
 		}
 	}
 }
 
 // ForwardTorusTo transforms a torus polynomial into the folded Fourier
 // domain. Torus coefficients are interpreted as signed integers (centered
-// representatives) to keep magnitudes small for double precision.
+// representatives) to keep magnitudes small for double precision. dst is
+// fully overwritten; src is read-only.
 func (p *Processor) ForwardTorusTo(dst FourierPoly, src poly.Poly) {
 	if src.N() != p.n || len(dst) != p.m {
 		panic("fft: ForwardTorusTo size mismatch")
 	}
-	for j := 0; j < p.m; j++ {
-		c := complex(float64(int32(src.Coeffs[j])), float64(int32(src.Coeffs[j+p.m])))
-		dst[j] = c * p.twist[j]
+	if fastKernelOn() {
+		loadTorusFast(dst, src.Coeffs, p.twist)
+	} else {
+		loadTorusRef(dst, src.Coeffs, p.twist)
 	}
-	p.fftInPlace(dst, p.wFwd)
+	p.forwardStages(dst)
 }
 
 // ForwardTorus is ForwardTorusTo with allocation.
@@ -112,16 +188,18 @@ func (p *Processor) ForwardTorus(src poly.Poly) FourierPoly {
 }
 
 // ForwardIntTo transforms a small-integer polynomial (e.g. gadget
-// decomposition digits) into the folded Fourier domain.
+// decomposition digits) into the folded Fourier domain. dst is fully
+// overwritten; src is read-only.
 func (p *Processor) ForwardIntTo(dst FourierPoly, src []int32) {
 	if len(src) != p.n || len(dst) != p.m {
 		panic("fft: ForwardIntTo size mismatch")
 	}
-	for j := 0; j < p.m; j++ {
-		c := complex(float64(src[j]), float64(src[j+p.m]))
-		dst[j] = c * p.twist[j]
+	if fastKernelOn() {
+		loadIntFast(dst, src, p.twist)
+	} else {
+		loadIntRef(dst, src, p.twist)
 	}
-	p.fftInPlace(dst, p.wFwd)
+	p.forwardStages(dst)
 }
 
 // ForwardInt is ForwardIntTo with allocation.
@@ -134,18 +212,49 @@ func (p *Processor) ForwardInt(src []int32) FourierPoly {
 // InverseTo transforms back from the Fourier domain, rounding each real
 // coefficient to the nearest integer modulo 2^32 and *adding* it into dst.
 // The additive behaviour matches the Strix Accumulator Unit, which sums
-// IFFT outputs in the time domain. fp is clobbered.
+// IFFT outputs in the time domain. fp is read-only: the butterfly passes
+// run in pooled processor scratch, so a Fourier accumulator survives its
+// own inverse transform and can be reused by the caller.
 func (p *Processor) InverseTo(dst poly.Poly, fp FourierPoly) {
 	if dst.N() != p.n || len(fp) != p.m {
 		panic("fft: InverseTo size mismatch")
 	}
-	p.fftInPlace(fp, p.wInv)
-	inv := 1.0 / float64(p.m)
-	for j := 0; j < p.m; j++ {
-		c := fp[j] * complex(inv, 0) * cmplx.Conj(p.twist[j])
-		dst.Coeffs[j] += roundToTorus(real(c))
-		dst.Coeffs[j+p.m] += roundToTorus(imag(c))
+	s := p.getInvScratch()
+	p.inverseAccTo(dst.Coeffs, fp, s.buf)
+	p.putInvScratch(s)
+}
+
+// inverseAccTo is the inverse kernel behind InverseTo: the first DIT
+// stage copies fp into scratch as it computes (leaving fp untouched),
+// middle stages run in place on scratch, and the final stage applies the
+// fold — conj(twist)/m, round-to-torus, additive store — fused into its
+// butterflies. scratch must have length m and is fully clobbered.
+// When the transform is a single stage (m ≤ 4) it reads fp and folds
+// directly into dst without touching scratch.
+func (p *Processor) inverseAccTo(dst []torus.Torus32, fp FourierPoly, scratch []complex128) {
+	stages := p.inv
+	last := len(stages) - 1
+	if fastKernelOn() {
+		if last == 0 {
+			invFoldFast(dst, fp, stages[0], p.untwist, p.m)
+			return
+		}
+		invFirstFast(scratch, fp, stages[0].size)
+		for i := 1; i < last; i++ {
+			invStage4Fast(scratch, stages[i].size, stages[i].tw)
+		}
+		invFoldFast(dst, scratch, stages[last], p.untwist, p.m)
+		return
 	}
+	if last == 0 {
+		invFoldRef(dst, fp, stages[0], p.untwist, p.m)
+		return
+	}
+	invFirstRef(scratch, fp, stages[0].size)
+	for i := 1; i < last; i++ {
+		invStage4Ref(scratch, stages[i].size, stages[i].tw)
+	}
+	invFoldRef(dst, scratch, stages[last], p.untwist, p.m)
 }
 
 // Inverse transforms back into a fresh polynomial (not additive).
@@ -155,30 +264,47 @@ func (p *Processor) Inverse(fp FourierPoly) poly.Poly {
 	return dst
 }
 
-// roundToTorus rounds a real value to the nearest integer and reduces it
-// modulo 2^32. Values are folded with math.Mod first so magnitudes up to
-// ~2^63 stay well-defined.
+// roundToTorus rounds a real value to the nearest integer (halves away
+// from zero, like math.Round) and reduces it modulo 2^32 via integer
+// truncation, which is exact for |x| < 2^63. The input is only as good
+// as double precision anyway: integers are representable exactly up to
+// 2^53, so accumulated products beyond that have already lost low bits
+// before rounding ever happens. The kernels keep hot-path magnitudes
+// below ~2^52 (digit-sized operands against 32-bit torus coefficients);
+// see the roundToTorus tests for the pinned boundary behaviour and the
+// 2^53 cliff.
 func roundToTorus(x float64) torus.Torus32 {
-	x = math.Round(x)
-	// Reduce mod 2^32 before conversion to avoid int64 overflow on the
-	// largest accumulated products.
-	x = math.Mod(x, 4294967296.0)
-	return torus.Torus32(int64(x))
+	// int64 -> Torus32 truncation is the mod-2^32 reduction; this runs
+	// once per output coefficient, so no math.Mod call here.
+	return torus.Torus32(int64(math.Round(x)))
 }
 
 // MulAcc sets acc += a ⊙ b (pointwise complex multiply-accumulate). This is
-// the operation of the Strix VMA unit in the frequency domain.
+// the operation of the Strix VMA unit in the frequency domain. All three
+// operands must have the same length; mismatched operands panic (a silent
+// range-truncation here would corrupt ciphertexts noiselessly).
 func MulAcc(acc, a, b FourierPoly) {
-	for i := range acc {
-		acc[i] += a[i] * b[i]
+	if len(a) != len(acc) || len(b) != len(acc) {
+		panic(fmt.Sprintf("fft: MulAcc size mismatch (acc %d, a %d, b %d)", len(acc), len(a), len(b)))
 	}
+	if fastKernelOn() {
+		mulAccFast(acc, a, b)
+		return
+	}
+	mulAccRef(acc, a, b)
 }
 
-// Mul sets dst = a ⊙ b.
+// Mul sets dst = a ⊙ b. All three operands must have the same length;
+// mismatched operands panic.
 func Mul(dst, a, b FourierPoly) {
-	for i := range dst {
-		dst[i] = a[i] * b[i]
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic(fmt.Sprintf("fft: Mul size mismatch (dst %d, a %d, b %d)", len(dst), len(a), len(b)))
 	}
+	if fastKernelOn() {
+		mulFast(dst, a, b)
+		return
+	}
+	mulRef(dst, a, b)
 }
 
 // Clear zeroes fp.

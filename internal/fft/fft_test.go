@@ -23,27 +23,69 @@ func naiveEval(c []float64, k int) complex128 {
 	return acc
 }
 
+// forwardPermutation recovers, for a given input, the bijection between
+// the kernel-order output slots and the naive evaluation indices. The DIF
+// kernel emits the folded DFT values in digit-reversed order; the tests
+// only require that the order is a fixed bijection consistent between
+// forward, pointwise ops and inverse, so the permutation is matched
+// empirically against the naive evaluations.
+func forwardPermutation(t *testing.T, fp FourierPoly, cf []float64) []int {
+	t.Helper()
+	m := len(fp)
+	perm := make([]int, m)
+	used := make([]bool, m)
+	for i := 0; i < m; i++ {
+		found := -1
+		for k := 0; k < m; k++ {
+			want := naiveEval(cf, k)
+			if cmplx.Abs(fp[i]-want) <= 1e-6*(1+cmplx.Abs(want)) {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("slot %d: value %v matches no naive evaluation", i, fp[i])
+		}
+		if used[found] {
+			t.Fatalf("slot %d: naive evaluation %d matched twice", i, found)
+		}
+		used[found] = true
+		perm[i] = found
+	}
+	return perm
+}
+
 func TestForwardMatchesNaiveEvaluation(t *testing.T) {
+	// The kernel-order outputs must be exactly the m naive evaluations at
+	// the odd 2N-th roots, each appearing once (a bijection), and the
+	// permutation must not depend on the input values.
 	n := 16
 	p := NewProcessor(n)
 	rng := rand.New(rand.NewSource(1))
-	src := make([]int32, n)
-	cf := make([]float64, n)
-	for i := range src {
-		src[i] = int32(rng.Intn(2000) - 1000)
-		cf[i] = float64(src[i])
-	}
-	fp := p.ForwardInt(src)
-	for k := 0; k < n/2; k++ {
-		want := naiveEval(cf, k)
-		if cmplx.Abs(fp[k]-want) > 1e-6*(1+cmplx.Abs(want)) {
-			t.Fatalf("k=%d: got %v want %v", k, fp[k], want)
+	var perm []int
+	for trial := 0; trial < 3; trial++ {
+		src := make([]int32, n)
+		cf := make([]float64, n)
+		for i := range src {
+			src[i] = int32(rng.Intn(2000) - 1000)
+			cf[i] = float64(src[i])
+		}
+		fp := p.ForwardInt(src)
+		got := forwardPermutation(t, fp, cf)
+		if perm == nil {
+			perm = got
+			continue
+		}
+		for i := range perm {
+			if perm[i] != got[i] {
+				t.Fatalf("output permutation depends on input: slot %d mapped to %d then %d", i, perm[i], got[i])
+			}
 		}
 	}
 }
 
 func TestForwardInverseRoundtripInt(t *testing.T) {
-	for _, n := range []int{8, 64, 1024} {
+	for _, n := range []int{4, 8, 16, 64, 1024} {
 		p := NewProcessor(n)
 		rng := rand.New(rand.NewSource(2))
 		src := make([]int32, n)
@@ -159,11 +201,12 @@ func TestInverseToIsAdditive(t *testing.T) {
 	p := NewProcessor(n)
 	src := make([]int32, n)
 	src[3] = 7
-	fp1 := p.ForwardInt(src)
-	fp2 := p.ForwardInt(src)
+	fp := p.ForwardInt(src)
 	dst := poly.New(n)
-	p.InverseTo(dst, fp1)
-	p.InverseTo(dst, fp2)
+	// The same Fourier accumulator is inverse-transformed twice: InverseTo
+	// must both add into dst and leave fp intact across calls.
+	p.InverseTo(dst, fp)
+	p.InverseTo(dst, fp)
 	if int32(dst.Coeffs[3]) != 14 {
 		t.Fatalf("additive inverse: got %d want 14", int32(dst.Coeffs[3]))
 	}

@@ -1,0 +1,42 @@
+package fft
+
+import "sync/atomic"
+
+// Kernel selection. Two interchangeable kernel sets implement the butterfly
+// stages, the twist/fold load-store passes, and the pointwise MACs:
+//
+//   - the reference kernels (kernel_ref.go): plain bounds-checked Go, the
+//     bitwise-pinned ground truth;
+//   - the fast kernels (kernel_fast.go, excluded by the `purego` build tag):
+//     the same arithmetic with unsafe pointer indexing and unrolled loops.
+//
+// Both sets spell every floating-point expression with the same shape and
+// evaluation order, so they produce bitwise-identical float64 results up to
+// the sign of zeros — and therefore identical Torus32 outputs on every
+// public operation. The reference-kernel conformance backend re-runs every
+// op with the fast path disabled and requires exact ciphertext equality.
+//
+// fastEnabled is a process-wide runtime switch so one binary can benchmark
+// fast against reference in the same run; it defaults to the fast path when
+// the build includes it.
+var fastEnabled atomic.Bool
+
+func init() { fastEnabled.Store(fastKernelAvailable) }
+
+// FastKernelAvailable reports whether this binary was built with the
+// unsafe fast kernels (i.e. without the `purego` build tag).
+func FastKernelAvailable() bool { return fastKernelAvailable }
+
+// SetFastKernel selects the kernel set used by all processors in the
+// process and returns the previous setting. Enabling has no effect in a
+// `purego` build. Callers that need a deterministic reference run (the
+// conformance harness, A/B benchmarks) should restore the previous value
+// when done.
+func SetFastKernel(on bool) bool {
+	prev := fastEnabled.Load()
+	fastEnabled.Store(on && fastKernelAvailable)
+	return prev
+}
+
+// fastKernelOn is the per-call dispatch check (a single atomic load).
+func fastKernelOn() bool { return fastEnabled.Load() }

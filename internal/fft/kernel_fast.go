@@ -1,0 +1,371 @@
+//go:build !purego
+
+package fft
+
+import (
+	"unsafe"
+
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+// Fast kernels: the same butterfly/load/fold/MAC arithmetic as
+// kernel_ref.go with unsafe pointer indexing instead of bounds-checked
+// slice access, pointer-increment walks instead of computed indices, and
+// (where it pays) unrolled loops. Every floating-point expression keeps
+// the exact shape of its reference twin — complex multiplies as
+// (ar*br-ai*bi, ar*bi+ai*br), i-multiplies as (-di, dr) — so fast and
+// reference produce bitwise-identical Torus32 results on every public
+// operation (the reference-kernel conformance backend enforces this).
+// Excluded from `purego` builds.
+
+const fastKernelAvailable = true
+
+// f64 loads the float64 at byte offset off from p.
+func f64(p unsafe.Pointer, off uintptr) float64 {
+	return *(*float64)(unsafe.Add(p, off))
+}
+
+func loadTorusFast(dst FourierPoly, src []torus.Torus32, twist []float64) {
+	m := len(dst)
+	dp := unsafe.Pointer(unsafe.SliceData(dst))
+	sp := unsafe.Pointer(unsafe.SliceData(src))
+	sph := unsafe.Add(sp, uintptr(m)*4)
+	tp := unsafe.Pointer(unsafe.SliceData(twist))
+	for j := 0; j < m; j++ {
+		ar := float64(int32(*(*torus.Torus32)(sp)))
+		ai := float64(int32(*(*torus.Torus32)(sph)))
+		tr, ti := f64(tp, 0), f64(tp, 8)
+		*(*float64)(dp) = ar*tr - ai*ti
+		*(*float64)(unsafe.Add(dp, 8)) = ar*ti + ai*tr
+		dp = unsafe.Add(dp, 16)
+		sp = unsafe.Add(sp, 4)
+		sph = unsafe.Add(sph, 4)
+		tp = unsafe.Add(tp, 16)
+	}
+}
+
+func loadIntFast(dst FourierPoly, src []int32, twist []float64) {
+	m := len(dst)
+	dp := unsafe.Pointer(unsafe.SliceData(dst))
+	sp := unsafe.Pointer(unsafe.SliceData(src))
+	sph := unsafe.Add(sp, uintptr(m)*4)
+	tp := unsafe.Pointer(unsafe.SliceData(twist))
+	for j := 0; j < m; j++ {
+		ar := float64(*(*int32)(sp))
+		ai := float64(*(*int32)(sph))
+		tr, ti := f64(tp, 0), f64(tp, 8)
+		*(*float64)(dp) = ar*tr - ai*ti
+		*(*float64)(unsafe.Add(dp, 8)) = ar*ti + ai*tr
+		dp = unsafe.Add(dp, 16)
+		sp = unsafe.Add(sp, 4)
+		sph = unsafe.Add(sph, 4)
+		tp = unsafe.Add(tp, 16)
+	}
+}
+
+func fwdStage4Fast(buf []complex128, s int, tw []float64) {
+	q := s >> 2
+	qb := uintptr(q) * 16
+	bp := unsafe.Pointer(unsafe.SliceData(buf))
+	twp := unsafe.Pointer(unsafe.SliceData(tw))
+	for b := 0; b < len(buf); b += s {
+		p0 := unsafe.Add(bp, uintptr(b)*16)
+		p1 := unsafe.Add(p0, qb)
+		p2 := unsafe.Add(p1, qb)
+		p3 := unsafe.Add(p2, qb)
+		tp := twp
+		for k := 0; k < q; k++ {
+			a0r, a0i := f64(p0, 0), f64(p0, 8)
+			a1r, a1i := f64(p1, 0), f64(p1, 8)
+			a2r, a2i := f64(p2, 0), f64(p2, 8)
+			a3r, a3i := f64(p3, 0), f64(p3, 8)
+			t0r, t0i := a0r+a2r, a0i+a2i
+			t1r, t1i := a0r-a2r, a0i-a2i
+			t2r, t2i := a1r+a3r, a1i+a3i
+			dr, di := a1r-a3r, a1i-a3i
+			t3r, t3i := -di, dr
+			w1r, w1i := f64(tp, 0), f64(tp, 8)
+			w2r, w2i := f64(tp, 16), f64(tp, 24)
+			w3r, w3i := f64(tp, 32), f64(tp, 40)
+			tp = unsafe.Add(tp, 48)
+			b1r, b1i := t1r+t3r, t1i+t3i
+			b2r, b2i := t0r-t2r, t0i-t2i
+			b3r, b3i := t1r-t3r, t1i-t3i
+			*(*float64)(p0) = t0r + t2r
+			*(*float64)(unsafe.Add(p0, 8)) = t0i + t2i
+			*(*float64)(p1) = b1r*w1r - b1i*w1i
+			*(*float64)(unsafe.Add(p1, 8)) = b1r*w1i + b1i*w1r
+			*(*float64)(p2) = b2r*w2r - b2i*w2i
+			*(*float64)(unsafe.Add(p2, 8)) = b2r*w2i + b2i*w2r
+			*(*float64)(p3) = b3r*w3r - b3i*w3i
+			*(*float64)(unsafe.Add(p3, 8)) = b3r*w3i + b3i*w3r
+			p0 = unsafe.Add(p0, 16)
+			p1 = unsafe.Add(p1, 16)
+			p2 = unsafe.Add(p2, 16)
+			p3 = unsafe.Add(p3, 16)
+		}
+	}
+}
+
+func fwdStage2Fast(buf []complex128) {
+	p := unsafe.Pointer(unsafe.SliceData(buf))
+	for i := 0; i < len(buf); i += 2 {
+		a0r, a0i := f64(p, 0), f64(p, 8)
+		a1r, a1i := f64(p, 16), f64(p, 24)
+		*(*float64)(p) = a0r + a1r
+		*(*float64)(unsafe.Add(p, 8)) = a0i + a1i
+		*(*float64)(unsafe.Add(p, 16)) = a0r - a1r
+		*(*float64)(unsafe.Add(p, 24)) = a0i - a1i
+		p = unsafe.Add(p, 32)
+	}
+}
+
+func invFirstFast(dst, src []complex128, size int) {
+	dp := unsafe.Pointer(unsafe.SliceData(dst))
+	sp := unsafe.Pointer(unsafe.SliceData(src))
+	if size == 2 {
+		for i := 0; i < len(src); i += 2 {
+			a0r, a0i := f64(sp, 0), f64(sp, 8)
+			a1r, a1i := f64(sp, 16), f64(sp, 24)
+			*(*float64)(dp) = a0r + a1r
+			*(*float64)(unsafe.Add(dp, 8)) = a0i + a1i
+			*(*float64)(unsafe.Add(dp, 16)) = a0r - a1r
+			*(*float64)(unsafe.Add(dp, 24)) = a0i - a1i
+			sp = unsafe.Add(sp, 32)
+			dp = unsafe.Add(dp, 32)
+		}
+		return
+	}
+	for i := 0; i < len(src); i += 4 {
+		v0r, v0i := f64(sp, 0), f64(sp, 8)
+		v1r, v1i := f64(sp, 16), f64(sp, 24)
+		v2r, v2i := f64(sp, 32), f64(sp, 40)
+		v3r, v3i := f64(sp, 48), f64(sp, 56)
+		t0r, t0i := v0r+v2r, v0i+v2i
+		t1r, t1i := v0r-v2r, v0i-v2i
+		t2r, t2i := v1r+v3r, v1i+v3i
+		dr, di := v1r-v3r, v1i-v3i
+		t3r, t3i := -di, dr
+		*(*float64)(dp) = t0r + t2r
+		*(*float64)(unsafe.Add(dp, 8)) = t0i + t2i
+		*(*float64)(unsafe.Add(dp, 16)) = t1r - t3r
+		*(*float64)(unsafe.Add(dp, 24)) = t1i - t3i
+		*(*float64)(unsafe.Add(dp, 32)) = t0r - t2r
+		*(*float64)(unsafe.Add(dp, 40)) = t0i - t2i
+		*(*float64)(unsafe.Add(dp, 48)) = t1r + t3r
+		*(*float64)(unsafe.Add(dp, 56)) = t1i + t3i
+		sp = unsafe.Add(sp, 64)
+		dp = unsafe.Add(dp, 64)
+	}
+}
+
+func invStage4Fast(buf []complex128, s int, tw []float64) {
+	q := s >> 2
+	qb := uintptr(q) * 16
+	bp := unsafe.Pointer(unsafe.SliceData(buf))
+	twp := unsafe.Pointer(unsafe.SliceData(tw))
+	for b := 0; b < len(buf); b += s {
+		p0 := unsafe.Add(bp, uintptr(b)*16)
+		p1 := unsafe.Add(p0, qb)
+		p2 := unsafe.Add(p1, qb)
+		p3 := unsafe.Add(p2, qb)
+		tp := twp
+		for k := 0; k < q; k++ {
+			x0r, x0i := f64(p0, 0), f64(p0, 8)
+			x1r, x1i := f64(p1, 0), f64(p1, 8)
+			x2r, x2i := f64(p2, 0), f64(p2, 8)
+			x3r, x3i := f64(p3, 0), f64(p3, 8)
+			w1r, w1i := f64(tp, 0), f64(tp, 8)
+			w2r, w2i := f64(tp, 16), f64(tp, 24)
+			w3r, w3i := f64(tp, 32), f64(tp, 40)
+			tp = unsafe.Add(tp, 48)
+			v1r, v1i := x1r*w1r-x1i*w1i, x1r*w1i+x1i*w1r
+			v2r, v2i := x2r*w2r-x2i*w2i, x2r*w2i+x2i*w2r
+			v3r, v3i := x3r*w3r-x3i*w3i, x3r*w3i+x3i*w3r
+			t0r, t0i := x0r+v2r, x0i+v2i
+			t1r, t1i := x0r-v2r, x0i-v2i
+			t2r, t2i := v1r+v3r, v1i+v3i
+			dr, di := v1r-v3r, v1i-v3i
+			t3r, t3i := -di, dr
+			*(*float64)(p0) = t0r + t2r
+			*(*float64)(unsafe.Add(p0, 8)) = t0i + t2i
+			*(*float64)(p1) = t1r - t3r
+			*(*float64)(unsafe.Add(p1, 8)) = t1i - t3i
+			*(*float64)(p2) = t0r - t2r
+			*(*float64)(unsafe.Add(p2, 8)) = t0i - t2i
+			*(*float64)(p3) = t1r + t3r
+			*(*float64)(unsafe.Add(p3, 8)) = t1i + t3i
+			p0 = unsafe.Add(p0, 16)
+			p1 = unsafe.Add(p1, 16)
+			p2 = unsafe.Add(p2, 16)
+			p3 = unsafe.Add(p3, 16)
+		}
+	}
+}
+
+// foldAccFast applies the untwist factor at byte offsets derived from pos
+// and accumulates the rounded components into the two dst halves.
+func foldAccFast(dp, up unsafe.Pointer, mb uintptr, pos int, yr, yi float64) {
+	u := unsafe.Add(up, uintptr(pos)*16)
+	ur, ui := f64(u, 0), f64(u, 8)
+	d := unsafe.Add(dp, uintptr(pos)*4)
+	*(*torus.Torus32)(d) += roundToTorus(yr*ur - yi*ui)
+	*(*torus.Torus32)(unsafe.Add(d, mb)) += roundToTorus(yr*ui + yi*ur)
+}
+
+func invFoldFast(dst []torus.Torus32, src []complex128, st stage, untwist []float64, m int) {
+	dp := unsafe.Pointer(unsafe.SliceData(dst))
+	up := unsafe.Pointer(unsafe.SliceData(untwist))
+	sp := unsafe.Pointer(unsafe.SliceData(src))
+	mb := uintptr(m) * 4
+	if st.size == 2 {
+		a0r, a0i := f64(sp, 0), f64(sp, 8)
+		a1r, a1i := f64(sp, 16), f64(sp, 24)
+		foldAccFast(dp, up, mb, 0, a0r+a1r, a0i+a1i)
+		foldAccFast(dp, up, mb, 1, a0r-a1r, a0i-a1i)
+		return
+	}
+	q := st.size >> 2
+	qb := uintptr(q) * 16
+	p0 := sp
+	p1 := unsafe.Add(p0, qb)
+	p2 := unsafe.Add(p1, qb)
+	p3 := unsafe.Add(p2, qb)
+	tp := unsafe.Pointer(unsafe.SliceData(st.tw))
+	for k := 0; k < q; k++ {
+		x0r, x0i := f64(p0, 0), f64(p0, 8)
+		x1r, x1i := f64(p1, 0), f64(p1, 8)
+		x2r, x2i := f64(p2, 0), f64(p2, 8)
+		x3r, x3i := f64(p3, 0), f64(p3, 8)
+		w1r, w1i := f64(tp, 0), f64(tp, 8)
+		w2r, w2i := f64(tp, 16), f64(tp, 24)
+		w3r, w3i := f64(tp, 32), f64(tp, 40)
+		tp = unsafe.Add(tp, 48)
+		v1r, v1i := x1r*w1r-x1i*w1i, x1r*w1i+x1i*w1r
+		v2r, v2i := x2r*w2r-x2i*w2i, x2r*w2i+x2i*w2r
+		v3r, v3i := x3r*w3r-x3i*w3i, x3r*w3i+x3i*w3r
+		t0r, t0i := x0r+v2r, x0i+v2i
+		t1r, t1i := x0r-v2r, x0i-v2i
+		t2r, t2i := v1r+v3r, v1i+v3i
+		dr, di := v1r-v3r, v1i-v3i
+		t3r, t3i := -di, dr
+		foldAccFast(dp, up, mb, k, t0r+t2r, t0i+t2i)
+		foldAccFast(dp, up, mb, k+q, t1r-t3r, t1i-t3i)
+		foldAccFast(dp, up, mb, k+2*q, t0r-t2r, t0i-t2i)
+		foldAccFast(dp, up, mb, k+3*q, t1r+t3r, t1i+t3i)
+		p0 = unsafe.Add(p0, 16)
+		p1 = unsafe.Add(p1, 16)
+		p2 = unsafe.Add(p2, 16)
+		p3 = unsafe.Add(p3, 16)
+	}
+}
+
+func mulAccFast(acc, a, b FourierPoly) {
+	n := len(acc)
+	cp := unsafe.Pointer(unsafe.SliceData(acc))
+	ap := unsafe.Pointer(unsafe.SliceData(a))
+	bp := unsafe.Pointer(unsafe.SliceData(b))
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		ar0, ai0 := f64(ap, 0), f64(ap, 8)
+		br0, bi0 := f64(bp, 0), f64(bp, 8)
+		cr0, ci0 := f64(cp, 0), f64(cp, 8)
+		ar1, ai1 := f64(ap, 16), f64(ap, 24)
+		br1, bi1 := f64(bp, 16), f64(bp, 24)
+		cr1, ci1 := f64(cp, 16), f64(cp, 24)
+		*(*float64)(cp) = cr0 + (ar0*br0 - ai0*bi0)
+		*(*float64)(unsafe.Add(cp, 8)) = ci0 + (ar0*bi0 + ai0*br0)
+		*(*float64)(unsafe.Add(cp, 16)) = cr1 + (ar1*br1 - ai1*bi1)
+		*(*float64)(unsafe.Add(cp, 24)) = ci1 + (ar1*bi1 + ai1*br1)
+		ap = unsafe.Add(ap, 32)
+		bp = unsafe.Add(bp, 32)
+		cp = unsafe.Add(cp, 32)
+	}
+	for ; i < n; i++ {
+		ar, ai := f64(ap, 0), f64(ap, 8)
+		br, bi := f64(bp, 0), f64(bp, 8)
+		cr, ci := f64(cp, 0), f64(cp, 8)
+		*(*float64)(cp) = cr + (ar*br - ai*bi)
+		*(*float64)(unsafe.Add(cp, 8)) = ci + (ar*bi + ai*br)
+		ap = unsafe.Add(ap, 16)
+		bp = unsafe.Add(bp, 16)
+		cp = unsafe.Add(cp, 16)
+	}
+}
+
+func mulFast(dst, a, b FourierPoly) {
+	n := len(dst)
+	dp := unsafe.Pointer(unsafe.SliceData(dst))
+	ap := unsafe.Pointer(unsafe.SliceData(a))
+	bp := unsafe.Pointer(unsafe.SliceData(b))
+	for i := 0; i < n; i++ {
+		ar, ai := f64(ap, 0), f64(ap, 8)
+		br, bi := f64(bp, 0), f64(bp, 8)
+		*(*float64)(dp) = ar*br - ai*bi
+		*(*float64)(unsafe.Add(dp, 8)) = ar*bi + ai*br
+		ap = unsafe.Add(ap, 16)
+		bp = unsafe.Add(bp, 16)
+		dp = unsafe.Add(dp, 16)
+	}
+}
+
+// decompLoadFast is the fast fused decompose+twist load. Digit extraction
+// is branchless — rounding folds into a masked add, and the balanced-range
+// borrow becomes carry = (d + B/2 - 1) >> baseLog, which is 1 exactly when
+// the digit exceeds B/2 — and the twisted complex points are stored
+// through per-level walking pointers. The digits are identical to
+// Decomposer.DigitsTo's (integer math is exact; pinned by test). BaseLog
+// 32 would overflow the branchless carry, so it falls back to the
+// reference load.
+func (p *Processor) decompLoadFast(dsts []FourierPoly, dec poly.Decomposer, src poly.Poly) {
+	lb := dec.Level
+	bl := uint(dec.BaseLog)
+	if bl >= 32 || lb > 32 {
+		p.decompLoadRef(dsts, dec, src)
+		return
+	}
+	m := p.m
+	var dp [32]unsafe.Pointer
+	for l := 0; l < lb; l++ {
+		dp[l] = unsafe.Pointer(unsafe.SliceData(dsts[l]))
+	}
+	sp := unsafe.Pointer(unsafe.SliceData(src.Coeffs))
+	sph := unsafe.Add(sp, uintptr(m)*4)
+	tp := unsafe.Pointer(unsafe.SliceData(p.twist))
+	rshift := 32 - bl*uint(lb)
+	rmask := ^uint32(0)
+	var rhalf uint32
+	if rshift > 0 {
+		rmask <<= rshift
+		rhalf = 1 << (rshift - 1)
+	}
+	mask := uint32(1)<<bl - 1
+	half := uint32(1) << (bl - 1)
+	var da, db [32]int32
+	for j := 0; j < m; j++ {
+		ra := (*(*uint32)(sp) + rhalf) & rmask
+		rb := (*(*uint32)(sph) + rhalf) & rmask
+		ca, cb := uint32(0), uint32(0)
+		sh := rshift
+		for l := lb - 1; l >= 0; l-- {
+			d := (ra>>sh)&mask + ca
+			ca = (d + half - 1) >> bl
+			da[l] = int32(d - ca<<bl)
+			d = (rb>>sh)&mask + cb
+			cb = (d + half - 1) >> bl
+			db[l] = int32(d - cb<<bl)
+			sh += bl
+		}
+		tr, ti := f64(tp, 0), f64(tp, 8)
+		for l := 0; l < lb; l++ {
+			ar, ai := float64(da[l]), float64(db[l])
+			*(*float64)(dp[l]) = ar*tr - ai*ti
+			*(*float64)(unsafe.Add(dp[l], 8)) = ar*ti + ai*tr
+			dp[l] = unsafe.Add(dp[l], 16)
+		}
+		sp = unsafe.Add(sp, 4)
+		sph = unsafe.Add(sph, 4)
+		tp = unsafe.Add(tp, 16)
+	}
+}

@@ -1,0 +1,313 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/torus"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestInverseToPreservesInput(t *testing.T) {
+	// Regression for the InverseTo input-clobbering hazard: the transform
+	// must run in processor scratch, leaving the caller's Fourier
+	// accumulator bit-for-bit intact — including the single-stage sizes
+	// (n=4, n=8) where the fold reads the input directly.
+	for _, n := range []int{4, 8, 64, 256} {
+		p := NewProcessor(n)
+		rng := rand.New(rand.NewSource(11))
+		src := make([]int32, n)
+		for i := range src {
+			src[i] = int32(rng.Intn(1<<16) - 1<<15)
+		}
+		fp := p.ForwardInt(src)
+		want := Copy(fp)
+		dst := poly.New(n)
+		p.InverseTo(dst, fp)
+		for i := range fp {
+			if fp[i] != want[i] {
+				t.Fatalf("n=%d: InverseTo modified its input at %d: %v -> %v", n, i, want[i], fp[i])
+			}
+		}
+		// The preserved accumulator must still be usable: a second inverse
+		// adds the same polynomial again.
+		dst2 := poly.New(n)
+		p.InverseTo(dst2, fp)
+		p.InverseTo(dst2, fp)
+		for i := range dst.Coeffs {
+			if dst2.Coeffs[i] != 2*dst.Coeffs[i] {
+				t.Fatalf("n=%d: reused accumulator drifted at coeff %d", n, i)
+			}
+		}
+	}
+}
+
+func TestMulSizeMismatchPanics(t *testing.T) {
+	p := NewProcessor(16)
+	good := p.NewFourierPoly()
+	short := make(FourierPoly, p.M()-1)
+	long := make(FourierPoly, p.M()+1)
+	// Both directions: an undersized operand must not silently truncate
+	// the loop, and an oversized one must not silently drop its tail.
+	expectPanic(t, "Mul dst short", func() { Mul(short, good, good) })
+	expectPanic(t, "Mul a short", func() { Mul(good, short, good) })
+	expectPanic(t, "Mul b short", func() { Mul(good, good, short) })
+	expectPanic(t, "Mul dst long", func() { Mul(long, good, good) })
+	expectPanic(t, "Mul a long", func() { Mul(good, long, good) })
+	expectPanic(t, "Mul b long", func() { Mul(good, good, long) })
+	expectPanic(t, "MulAcc acc short", func() { MulAcc(short, good, good) })
+	expectPanic(t, "MulAcc a short", func() { MulAcc(good, short, good) })
+	expectPanic(t, "MulAcc b short", func() { MulAcc(good, good, short) })
+	expectPanic(t, "MulAcc acc long", func() { MulAcc(long, good, good) })
+	expectPanic(t, "MulAcc a long", func() { MulAcc(good, long, good) })
+	expectPanic(t, "MulAcc b long", func() { MulAcc(good, good, long) })
+}
+
+func TestRoundToTorusBoundaries(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want torus.Torus32
+	}{
+		{0, 0},
+		{0.49, 0},
+		{0.5, 1},                   // math.Round: halves away from zero
+		{-0.5, 0xFFFFFFFF},         // -1 on the torus
+		{2147483647, 0x7FFFFFFF},   // 2^31 - 1
+		{2147483647.5, 0x80000000}, // rounds up to exactly 2^31
+		{2147483648, 0x80000000},   // +2^31 and -2^31 are the same torus point
+		{-2147483648, 0x80000000},
+		{-2147483648.5, 0x7FFFFFFF}, // rounds away to -2^31-1 ≡ 2^31-1
+		{4294967296, 0},             // full wrap
+		{4294967297, 1},
+		{-4294967295, 1},
+		{1152921504606846976, 0}, // 2^60, exactly representable, exact mod
+		{1152921513196781568, 0}, // 2^60 + 2^33, still exact in float64
+	}
+	for _, c := range cases {
+		if got := roundToTorus(c.in); got != c.want {
+			t.Errorf("roundToTorus(%v) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundToTorusDoublePrecisionCliff(t *testing.T) {
+	// Integers are exactly representable in float64 only up to 2^53. The
+	// old kernel comment claimed safety "up to ~2^63"; in truth any input
+	// above 2^53 has already lost low bits before roundToTorus sees it.
+	// Pin both sides of the cliff.
+	const maxExact = 1 << 53 // 9007199254740992
+	if got, want := roundToTorus(float64(maxExact-1)), torus.Torus32(0xFFFFFFFF); got != want {
+		t.Errorf("roundToTorus(2^53-1) = %#x, want %#x", got, want)
+	}
+	// 2^53+1 is not representable: it rounds to 2^53 at conversion, so two
+	// distinct integers collapse to the same torus value.
+	if float64(maxExact+1) != float64(maxExact) {
+		t.Fatal("expected 2^53+1 to collapse to 2^53 in float64")
+	}
+	if roundToTorus(float64(maxExact+1)) != roundToTorus(float64(maxExact)) {
+		t.Error("values beyond the 2^53 cliff should be indistinguishable")
+	}
+	// The hot path keeps magnitudes well under the cliff: N=1024 products
+	// of 32-bit torus values against 2^10 digits stay below ~2^52.
+	if maxHot := 1024.0 * 512 * 2147483648; maxHot >= float64(maxExact) {
+		t.Errorf("hot-path bound %v exceeds exact range %v", maxHot, float64(maxExact))
+	}
+}
+
+func TestForwardDecomposeMatchesUnfused(t *testing.T) {
+	// The fused decompose+load must be bitwise identical to the
+	// DecomposePolyTo -> ForwardIntBatchTo sequence it replaces.
+	for _, n := range []int{16, 256, 1024} {
+		p := NewProcessor(n)
+		dec := poly.NewDecomposer(8, 3)
+		rng := rand.New(rand.NewSource(13))
+		src := poly.New(n)
+		poly.Uniform(rng, src)
+
+		fused := p.NewFourierPolyBatch(dec.Level)
+		p.ForwardDecompose(fused, dec, src)
+
+		digits := dec.DecomposePoly(src)
+		unfused := p.NewFourierPolyBatch(dec.Level)
+		p.ForwardIntBatchTo(unfused, digits)
+
+		for l := range fused {
+			for j := range fused[l] {
+				if fused[l][j] != unfused[l][j] {
+					t.Fatalf("n=%d level %d slot %d: fused %v != unfused %v", n, l, j, fused[l][j], unfused[l][j])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardDecomposeValidation(t *testing.T) {
+	p := NewProcessor(16)
+	dec := poly.NewDecomposer(8, 3)
+	src := poly.New(16)
+	expectPanic(t, "level mismatch", func() {
+		p.ForwardDecompose(p.NewFourierPolyBatch(2), dec, src)
+	})
+	expectPanic(t, "poly size mismatch", func() {
+		p.ForwardDecompose(p.NewFourierPolyBatch(3), dec, poly.New(32))
+	})
+	expectPanic(t, "buffer size mismatch", func() {
+		bad := []FourierPoly{make(FourierPoly, 4), make(FourierPoly, 4), make(FourierPoly, 4)}
+		p.ForwardDecompose(bad, dec, src)
+	})
+}
+
+// withKernel runs f under the requested kernel selection and restores the
+// previous one.
+func withKernel(fast bool, f func()) {
+	prev := SetFastKernel(fast)
+	defer SetFastKernel(prev)
+	f()
+}
+
+func TestFastMatchesReferenceBitwise(t *testing.T) {
+	if !FastKernelAvailable() {
+		t.Skip("purego build: no fast kernel")
+	}
+	for _, n := range []int{4, 8, 16, 256, 1024} {
+		p := NewProcessor(n)
+		rng := rand.New(rand.NewSource(17))
+		src := poly.New(n)
+		poly.Uniform(rng, src)
+		digits := make([]int32, n)
+		for i := range digits {
+			digits[i] = int32(rng.Intn(1024) - 512)
+		}
+		dec := poly.NewDecomposer(4, 2)
+
+		var fTorus, fInt, fAcc FourierPoly
+		var fDec []FourierPoly
+		fInv := poly.New(n)
+		withKernel(true, func() {
+			fTorus = p.ForwardTorus(src)
+			fInt = p.ForwardInt(digits)
+			fAcc = p.NewFourierPoly()
+			MulAcc(fAcc, fTorus, fInt)
+			MulAcc(fAcc, fInt, fInt)
+			p.InverseTo(fInv, fAcc)
+			fDec = p.NewFourierPolyBatch(dec.Level)
+			p.ForwardDecompose(fDec, dec, src)
+		})
+
+		var rTorus, rInt, rAcc FourierPoly
+		var rDec []FourierPoly
+		rInv := poly.New(n)
+		withKernel(false, func() {
+			rTorus = p.ForwardTorus(src)
+			rInt = p.ForwardInt(digits)
+			rAcc = p.NewFourierPoly()
+			MulAcc(rAcc, rTorus, rInt)
+			MulAcc(rAcc, rInt, rInt)
+			p.InverseTo(rInv, rAcc)
+			rDec = p.NewFourierPolyBatch(dec.Level)
+			p.ForwardDecompose(rDec, dec, src)
+		})
+
+		cmpFP := func(name string, a, b FourierPoly) {
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d %s slot %d: fast %v != ref %v", n, name, i, a[i], b[i])
+				}
+			}
+		}
+		cmpFP("ForwardTorus", fTorus, rTorus)
+		cmpFP("ForwardInt", fInt, rInt)
+		cmpFP("MulAcc", fAcc, rAcc)
+		for l := range fDec {
+			cmpFP("ForwardDecompose", fDec[l], rDec[l])
+		}
+		for i := range fInv.Coeffs {
+			if fInv.Coeffs[i] != rInv.Coeffs[i] {
+				t.Fatalf("n=%d InverseTo coeff %d: fast %#x != ref %#x", n, i, fInv.Coeffs[i], rInv.Coeffs[i])
+			}
+		}
+	}
+}
+
+func TestInverseToNoAlloc(t *testing.T) {
+	p := NewProcessor(1024)
+	src := make([]int32, 1024)
+	src[1] = 3
+	fp := p.ForwardInt(src)
+	dst := poly.New(1024)
+	// Warm the scratch pool, then require steady-state zero allocations.
+	p.InverseTo(dst, fp)
+	if avg := testing.AllocsPerRun(100, func() { p.InverseTo(dst, fp) }); avg != 0 {
+		t.Errorf("InverseTo allocates %v per call, want 0", avg)
+	}
+}
+
+func benchKernels(b *testing.B, run func(b *testing.B)) {
+	b.Run("fast", func(b *testing.B) {
+		if !FastKernelAvailable() {
+			b.Skip("purego build")
+		}
+		prev := SetFastKernel(true)
+		defer SetFastKernel(prev)
+		run(b)
+	})
+	b.Run("ref", func(b *testing.B) {
+		prev := SetFastKernel(false)
+		defer SetFastKernel(prev)
+		run(b)
+	})
+}
+
+func BenchmarkFFTForward(b *testing.B) {
+	p := NewProcessor(1024)
+	rng := rand.New(rand.NewSource(19))
+	src := poly.New(1024)
+	poly.Uniform(rng, src)
+	dst := p.NewFourierPoly()
+	benchKernels(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.ForwardTorusTo(dst, src)
+		}
+	})
+}
+
+func BenchmarkFFTInverse(b *testing.B) {
+	p := NewProcessor(1024)
+	rng := rand.New(rand.NewSource(23))
+	src := poly.New(1024)
+	poly.Uniform(rng, src)
+	fp := p.ForwardTorus(src)
+	dst := poly.New(1024)
+	benchKernels(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.InverseTo(dst, fp)
+		}
+	})
+}
+
+func BenchmarkFFTForwardDecompose(b *testing.B) {
+	p := NewProcessor(1024)
+	dec := poly.NewDecomposer(10, 2)
+	rng := rand.New(rand.NewSource(29))
+	src := poly.New(1024)
+	poly.Uniform(rng, src)
+	dsts := p.NewFourierPolyBatch(dec.Level)
+	benchKernels(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.ForwardDecompose(dsts, dec, src)
+		}
+	})
+}

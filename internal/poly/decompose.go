@@ -98,12 +98,20 @@ func (d Decomposer) DecomposePoly(p Poly) [][]int32 {
 	return out
 }
 
-// DecomposePolyTo is DecomposePoly into caller-provided storage.
+// DecomposePolyTo is DecomposePoly into caller-provided storage. It does
+// not allocate: NewDecomposer caps Level at 32, so the per-coefficient
+// digit scratch fits on the stack (a hand-built larger decomposer falls
+// back to the heap).
 func (d Decomposer) DecomposePolyTo(out [][]int32, p Poly) {
 	if len(out) != d.Level {
 		panic("poly: DecomposePolyTo level mismatch")
 	}
-	digits := make([]int32, d.Level)
+	var stack [32]int32
+	digits := stack[:]
+	if d.Level > len(digits) {
+		digits = make([]int32, d.Level)
+	}
+	digits = digits[:d.Level]
 	for j, c := range p.Coeffs {
 		d.DigitsTo(digits, c)
 		for l := 0; l < d.Level; l++ {

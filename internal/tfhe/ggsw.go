@@ -45,25 +45,23 @@ func EncryptGGSW(rng *rand.Rand, key GLWEKey, s int32, gadget poly.Decomposer, s
 }
 
 // externalProductBuffers holds scratch storage for ExternalProductAcc so the
-// hot path is allocation free. The digit storage covers a whole CMux step —
-// all (k+1)·lb digit polynomials — so decomposition and the forward
-// transforms can each run as one batched burst (the pipeline's level-2
-// batching), exactly the burst the hardware Decomposer Unit emits to the
-// FFT array.
+// hot path is allocation free. The Fourier burst covers a whole CMux step —
+// all (k+1)·lb digit transforms — and is reused across every CMux of a
+// blind rotation; there is no time-domain digit staging because the fused
+// decompose+transform streams digits straight into the Fourier buffers,
+// exactly as the hardware Decomposer Unit feeds the FFT array (§V-B).
 type externalProductBuffers struct {
-	digits [][]int32         // [(k+1)·lb][N] digit storage, component-major
-	fdig   []fft.FourierPoly // [(k+1)·lb] transforms, same layout as digits
-	acc    []fft.FourierPoly // [k+1] Fourier accumulators
+	fdig []fft.FourierPoly // [(k+1)·lb] digit transforms, component-major
+	acc  []fft.FourierPoly // [k+1] Fourier accumulators
 }
 
 func newExternalProductBuffers(k, n, level int, proc *fft.Processor) *externalProductBuffers {
-	b := &externalProductBuffers{
-		digits: make([][]int32, (k+1)*level),
-		fdig:   proc.NewFourierPolyBatch((k + 1) * level),
-		acc:    make([]fft.FourierPoly, k+1),
+	if proc.N() != n {
+		panic("tfhe: externalProductBuffers processor size mismatch")
 	}
-	for l := range b.digits {
-		b.digits[l] = make([]int32, n)
+	b := &externalProductBuffers{
+		fdig: proc.NewFourierPolyBatch((k + 1) * level),
+		acc:  make([]fft.FourierPoly, k+1),
 	}
 	for c := range b.acc {
 		b.acc[c] = proc.NewFourierPoly()
@@ -72,30 +70,26 @@ func newExternalProductBuffers(k, n, level int, proc *fft.Processor) *externalPr
 }
 
 // ExternalProductAcc computes out += GGSW ⊡ d (the external product of
-// Algorithm 1 lines 7–10) in three batched phases: every component of d is
-// gadget-decomposed (filling the full (k+1)·lb digit burst), all digit
-// polynomials go through the forward FFT as one batched call, and the
+// Algorithm 1 lines 7–10) in two batched phases: every component of d goes
+// through the fused decompose+forward-transform (digit extraction feeding
+// the FFT load directly, no intermediate digit polynomials), and the
 // Fourier MAC loop then accumulates against the GGSW rows before the
-// batched inverse transform with rounding. Per-polynomial arithmetic and
-// accumulation order are identical to transforming one digit at a time, so
-// the batching changes nothing bitwise. counters, if non-nil, records the
-// operation mix for the Fig 1 experiment.
+// batched inverse transform with rounding. The fused path is bitwise
+// identical to decomposing and transforming one digit polynomial at a
+// time. counters, if non-nil, records the operation mix for the Fig 1
+// experiment.
 func ExternalProductAcc(out, d GLWECiphertext, g GGSWFourier, gadget poly.Decomposer, proc *fft.Processor, buf *externalProductBuffers, counters *OpCounters) {
 	k := d.K()
 	lb := gadget.Level
-	// Phase 1: decompose the whole CMux step, component-major.
+	// Phase 1: fused decompose + forward transform, component-major.
 	for j := 0; j <= k; j++ {
-		gadget.DecomposePolyTo(buf.digits[j*lb:(j+1)*lb], d.Polys[j])
+		proc.ForwardDecompose(buf.fdig[j*lb:(j+1)*lb], gadget, d.Polys[j])
 		if counters != nil {
 			counters.Decompositions++
+			counters.ForwardFFTs += int64(lb)
 		}
 	}
-	// Phase 2: one batched forward transform over all (k+1)·lb digits.
-	proc.ForwardIntBatchTo(buf.fdig, buf.digits)
-	if counters != nil {
-		counters.ForwardFFTs += int64((k + 1) * lb)
-	}
-	// Phase 3: Fourier MAC against the GGSW rows, then batched inverse.
+	// Phase 2: Fourier MAC against the GGSW rows, then batched inverse.
 	for c := 0; c <= k; c++ {
 		fft.Clear(buf.acc[c])
 	}
