@@ -11,11 +11,12 @@ GO ?= go
 COVER_FLOOR ?= 73.0
 
 # The benchmarks behind the perf trajectory (BENCH_pbs.json): the two
-# engines, the circuit scheduler, multi-value PBS, and the fast-vs-
-# reference FFT kernel comparison. benchjson derives the CI-gated
-# machine-portable ratios from these, so the regexp must keep matching
-# every benchmark cmd/benchjson's gatedRatios table names.
-BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore|BenchmarkPBS
+# engines, the circuit scheduler, multi-value PBS, the fast-vs-
+# reference FFT kernel comparison, and the routed cluster scale-out pair.
+# benchjson derives the CI-gated machine-portable ratios from these, so
+# the regexp must keep matching every benchmark cmd/benchjson's
+# gatedRatios table names.
+BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore|BenchmarkPBS|BenchmarkClusterGate
 # Allowed fractional regression of a gated ratio before the perf CI job
 # fails (see cmd/benchjson).
 BENCH_TOLERANCE = 0.25
@@ -41,10 +42,11 @@ test-purego:
 # The concurrent packages: the worker-pool and streaming engines, the
 # circuit scheduler that feeds them, the shared FFT processor pool they
 # lean on, the session-sharded gate service (group-commit coalescing)
-# with its wire codec, and the cross-backend conformance suite that runs
-# every public op through all five execution paths.
+# with its wire codec, the multi-node routing tier in front of it, and
+# the cross-backend conformance suite that runs every public op through
+# all the execution paths.
 race:
-	$(GO) test -race ./internal/conformance/... ./internal/engine/... ./internal/fft/... ./internal/sched/... ./internal/server/... ./internal/wire/...
+	$(GO) test -race ./internal/conformance/... ./internal/engine/... ./internal/fft/... ./internal/router/... ./internal/sched/... ./internal/server/... ./internal/wire/...
 
 # Full suite under the race detector with a coverage floor: catches both
 # data races anywhere and silent loss of test coverage.
@@ -56,7 +58,7 @@ cover:
 
 # The committed fuzz seed corpus in regression mode: every seed under
 # the packages' testdata/fuzz directories must keep passing without
-# -fuzz (wire codec, multilut-batch request decoder, packed test-vector
+# -fuzz (wire codec, v2 eval-envelope decoder, packed test-vector
 # builder, scheduler optimizer pipeline).
 fuzz-regress:
 	$(GO) test -run '^Fuzz' ./internal/wire/... ./internal/server/... ./internal/tfhe/... ./internal/sched/...

@@ -10,9 +10,15 @@ package strix
 // from `go run ./cmd/strixbench -exp all`.
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
+	"net"
+	"os"
+	"os/exec"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
@@ -564,6 +570,142 @@ func BenchmarkSessionRestore(b *testing.B) {
 		b.ResetTimer()
 		run(b, store)
 	})
+}
+
+// TestHelperClusterNode is not a test: it is the backend-node subprocess
+// behind BenchmarkClusterGate. The benchmark re-execs this test binary
+// with STRIX_CLUSTER_NODE=1 and GOMAXPROCS=1, and this helper becomes one
+// fixed-hardware gate-service node announcing its address on stdout.
+func TestHelperClusterNode(t *testing.T) {
+	if os.Getenv("STRIX_CLUSTER_NODE") != "1" {
+		t.Skip("helper process for BenchmarkClusterGate")
+	}
+	srv := NewGateService(ServiceConfig{Stream: engine.StreamConfig{RotateWorkers: 1}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("cluster-node: listening on %s\n", l.Addr())
+	_ = Serve(l, srv) // blocks until the parent kills the process
+}
+
+// startClusterNode boots one backend-node subprocess for
+// BenchmarkClusterGate and returns its base URL. The node is pinned to
+// GOMAXPROCS=1 so aggregate throughput can only grow by adding nodes.
+func startClusterNode(b *testing.B) string {
+	b.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperClusterNode$")
+	cmd.Env = append(os.Environ(), "STRIX_CLUSTER_NODE=1", "GOMAXPROCS=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		b.Fatal("cluster node produced no output")
+	}
+	line := scanner.Text()
+	const prefix = "cluster-node: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		b.Fatalf("unexpected node announcement %q", line)
+	}
+	go func() { // drain so the child never blocks on a full pipe
+		for scanner.Scan() {
+		}
+	}()
+	return "http://" + strings.TrimPrefix(line, prefix)
+}
+
+// BenchmarkClusterGate measures routed scale-out: the same concurrent
+// multi-session gate workload through the routing tier against 1 backend
+// node and against 2, each node a separate single-CPU process
+// (GOMAXPROCS=1, one rotate worker per session). Sessions are
+// shard-balanced by client ID, so the nodes=2 / nodes=1 PBS/s quotient is
+// the cluster scaling ratio the CI perf gate enforces (cmd/benchjson's
+// cluster2_vs_single, floor 1.5 on machines with ≥2 CPUs).
+func BenchmarkClusterGate(b *testing.B) {
+	urls := []string{startClusterNode(b), startClusterNode(b)}
+
+	// Balance client IDs against the full 2-node membership once, so both
+	// subbenches run the identical session set: nodes=1 serves all four on
+	// one backend, nodes=2 serves two per shard.
+	placer, err := NewRouter(RouterConfig{Backends: urls})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer placer.Close()
+	const clientsPerNode = 2
+	quota := map[string]int{urls[0]: clientsPerNode, urls[1]: clientsPerNode}
+	var ids []string
+	for i := 0; len(ids) < 2*clientsPerNode; i++ {
+		id := fmt.Sprintf("bench-cluster-%d", i)
+		if u := placer.ShardOf(id); quota[u] > 0 {
+			quota[u]--
+			ids = append(ids, id)
+		}
+	}
+
+	const gates = 16
+	rng := rand.New(rand.NewSource(29))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	as := make([]tfhe.LWECiphertext, gates)
+	bs := make([]tfhe.LWECiphertext, gates)
+	for g := range as {
+		as[g] = sk.EncryptBool(rng, g%2 == 0)
+		bs[g] = sk.EncryptBool(rng, g%3 == 0)
+	}
+
+	for _, nodes := range []int{1, 2} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			rt, err := NewRouter(RouterConfig{Backends: urls[:nodes]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go func() { _ = ServeRouter(l, rt) }()
+			base := "http://" + l.Addr().String()
+
+			cls := make([]*GateClient, len(ids))
+			for i, id := range ids {
+				cls[i] = Dial(base, id)
+				if err := cls[i].RegisterKey(ek); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cls[i].GateBatch(engine.NAND, as[:4], bs[:4]); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, len(cls))
+				for c, cl := range cls {
+					wg.Add(1)
+					go func(c int, cl *GateClient) {
+						defer wg.Done()
+						_, errs[c] = cl.GateBatch(engine.NAND, as, bs)
+					}(c, cl)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*len(cls)*gates)/b.Elapsed().Seconds(), "PBS/s")
+		})
+	}
 }
 
 // BenchmarkAllExperiments regenerates the entire evaluation section.

@@ -29,6 +29,8 @@ BenchmarkSessionRestore/mem-8      	       5	   1600000 ns/op	       625.0 sessi
 BenchmarkSessionRestore/disk-8     	       5	   2000000 ns/op	       500.0 sessions/s
 BenchmarkPBS/fast-8                	       5	    800000 ns/op	      1250.0 PBS/s	    800000 ns/PBS
 BenchmarkPBS/ref-8                 	       5	   1200000 ns/op	       833.3 PBS/s	   1200000 ns/PBS
+BenchmarkClusterGate/nodes=1-8     	       5	  64000000 ns/op	       100.0 PBS/s
+BenchmarkClusterGate/nodes=2-8     	       5	  35500000 ns/op	       180.0 PBS/s
 PASS
 ok  	repro	12.3s
 `
@@ -62,6 +64,9 @@ func TestParseBench(t *testing.T) {
 	if got := f.Gated["pbs_fast_vs_ref"]; got != 1250.0/833.3 {
 		t.Errorf("pbs kernel ratio = %v, want %v", got, 1250.0/833.3)
 	}
+	if got := f.Gated["cluster2_vs_single"]; got != 1.8 {
+		t.Errorf("cluster ratio = %v, want 1.8", got)
+	}
 }
 
 func TestParseBenchMissingGateBenchmark(t *testing.T) {
@@ -85,7 +90,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A regressed ratio inside the band passes, outside it fails.
 	regressed := *base
-	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3, "pbs_fast_vs_ref": 1.5}
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.5}
 	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
 		t.Errorf("20%% regression inside 25%% band failed: %v", err)
 	}
@@ -94,7 +99,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A gate missing from the current run fails.
 	missing := *base
-	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
 	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
 		t.Error("gate missing from current run passed")
 	}
@@ -134,28 +139,28 @@ func TestCompareAbsoluteFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	low := *base
-	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
+	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
 	// 1.4 is within 25% of the 3.635 baseline? No — but force the band
 	// wide enough that only the absolute floor can catch it.
 	if err := compare(base, &low, 0.99, os.Stderr); err == nil {
 		t.Error("multilut ratio below the 1.5 absolute floor passed")
 	}
 	ok := *base
-	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
+	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
 	if err := compare(base, &ok, 0.99, os.Stderr); err != nil {
 		t.Errorf("multilut ratio above the absolute floor failed: %v", err)
 	}
 	// The restore floor (0.25) is absolute too: a disk path that
 	// collapses below it fails even inside a wide tolerance band.
 	slow := *base
-	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5}
+	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
 	if err := compare(base, &slow, 0.99, os.Stderr); err == nil {
 		t.Error("restore ratio below the 0.25 absolute floor passed")
 	}
 	// The optimizer gate's 1.1 floor: an "optimization" that is a wash
 	// or a slowdown fails regardless of the baseline band.
 	wash := *base
-	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0, "pbs_fast_vs_ref": 1.5}
+	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
 	if err := compare(base, &wash, 0.99, os.Stderr); err == nil {
 		t.Error("optimized ratio below the 1.1 absolute floor passed")
 	}
@@ -171,16 +176,46 @@ func TestSmoke(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
-	cmdtest.WantSubstrings(t, out, "wrote", "6 gated ratios")
+	cmdtest.WantSubstrings(t, out, "wrote", "7 gated ratios")
 
 	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
-	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut")
+	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut", "cluster2_vs_single")
 
 	if out, err := cmdtest.RunErr(t, bin, "-compare", baseJSON); err == nil {
 		t.Errorf("missing compare arg succeeded:\n%s", out)
 	}
 	if out, err := cmdtest.RunErr(t, bin); err == nil {
 		t.Errorf("no mode succeeded:\n%s", out)
+	}
+}
+
+// TestCompareClusterFloorNeedsCPUs pins the minCPUs waiver: the cluster
+// scale-out floor (1.5) needs at least 2 CPUs to be physically meaningful
+// — two GOMAXPROCS=1 nodes time-slicing one core scale at ≈ 1× — so on a
+// 1-CPU runner the absolute floor is waived with a note, while a 2-CPU
+// runner enforces it.
+func TestCompareClusterFloorNeedsCPUs(t *testing.T) {
+	base, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := *base
+	flat.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 0.95}
+
+	narrow := flat
+	narrow.CPUs = 1
+	var buf strings.Builder
+	if err := compare(base, &narrow, 0.99, &buf); err != nil {
+		t.Errorf("cluster floor not waived on a 1-CPU runner: %v", err)
+	}
+	if !strings.Contains(buf.String(), "waived") {
+		t.Errorf("no waiver note in:\n%s", buf.String())
+	}
+
+	wide := flat
+	wide.CPUs = 2
+	if err := compare(base, &wide, 0.99, os.Stderr); err == nil {
+		t.Error("cluster ratio below the 1.5 floor passed on a 2-CPU runner")
 	}
 }
 

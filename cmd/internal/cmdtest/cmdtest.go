@@ -30,6 +30,20 @@ func Build(t *testing.T) string {
 	return bin
 }
 
+// BuildPkg compiles a sibling command package by import path (e.g.
+// "repro/cmd/strixserv") into a per-test temp dir and returns the binary
+// path — for smoke tests that orchestrate more than one binary, like the
+// router cluster boot.
+func BuildPkg(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := t.TempDir() + "/" + pkg[strings.LastIndex(pkg, "/")+1:] + ".bin"
+	out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
 // Run executes the binary and returns its combined output, failing the
 // test on a non-zero exit.
 func Run(t *testing.T, bin string, args ...string) string {

@@ -20,15 +20,20 @@
 //	strixbench -circuit 4 -parallel 8  # ... with explicit engine widths
 //	strixbench -multilut 4             # multi-value PBS vs 4 independent LUTs
 //	strixbench -restore 4              # cold-start session restore latency
+//	strixbench -cluster 2              # routed scale-out: 2 nodes vs 1 node PBS/s
+//	strixbench -cluster 2 -clients 8 -gates 32
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -375,6 +380,207 @@ func runMultiLUT(set string, k, workers int) error {
 // sameLWE compares two LWE ciphertexts bitwise.
 func sameLWE(a, b tfhe.LWECiphertext) bool { return tfhe.EqualLWE(a, b) }
 
+// runNode is the hidden -node mode: this process becomes one cluster
+// backend, a full gate service on an ephemeral port with a single rotate
+// worker per session so that -cluster measures scale-out across nodes,
+// not within one. The parent reads the announced address from stdout.
+func runNode(workers int) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	srv := strix.NewGateService(strix.ServiceConfig{
+		Stream: engine.StreamConfig{RotateWorkers: workers},
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strixbench-node: listening on %s\n", l.Addr())
+	return strix.Serve(l, srv)
+}
+
+// startNode re-execs this binary as one cluster backend (-node) with
+// GOMAXPROCS pinned to 1 — every node gets the same fixed hardware share
+// — and returns its base URL and a stopper.
+func startNode() (string, func(), error) {
+	cmd := exec.Command(os.Args[0], "-node")
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop := func() { cmd.Process.Kill(); cmd.Wait() }
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		stop()
+		return "", nil, fmt.Errorf("cluster node produced no output")
+	}
+	line := scanner.Text()
+	const prefix = "strixbench-node: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		stop()
+		return "", nil, fmt.Errorf("unexpected node announcement %q", line)
+	}
+	go func() { // drain so the child never blocks on a full pipe
+		for scanner.Scan() {
+		}
+	}()
+	return "http://" + strings.TrimPrefix(line, prefix), stop, nil
+}
+
+// clusterPass routes one timed workload through a fresh router over the
+// given backends: `clients` sessions with shard-balanced IDs, a warm
+// batch each, then one timed concurrent gate batch per session. Outputs
+// are decrypted and checked before the aggregate PBS/s is returned.
+func clusterPass(p tfhe.Params, urls []string, clients, gates int, label string) (float64, error) {
+	rt, err := strix.NewRouter(strix.RouterConfig{Backends: urls})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	go func() { _ = strix.ServeRouter(l, rt) }()
+	base := "http://" + l.Addr().String()
+
+	// Shard-balanced client IDs: walk candidates until every backend has
+	// its quota, so the measured scale-out is placement-independent.
+	quota := make(map[string]int, len(urls))
+	for i, u := range urls {
+		quota[u] = clients / len(urls)
+		if i < clients%len(urls) {
+			quota[u]++
+		}
+	}
+	ids := make([]string, 0, clients)
+	for i := 0; len(ids) < clients; i++ {
+		id := fmt.Sprintf("%s-%d", label, i)
+		if u := rt.ShardOf(id); quota[u] > 0 {
+			quota[u]--
+			ids = append(ids, id)
+		}
+	}
+
+	type clientState struct {
+		sk   tfhe.SecretKeys
+		cl   *strix.GateClient
+		a, b []tfhe.LWECiphertext
+		want []bool
+	}
+	states := make([]*clientState, clients)
+	for i, id := range ids {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		sk, ek := tfhe.GenerateKeys(rng, p)
+		cl := strix.Dial(base, id)
+		if err := cl.RegisterKey(ek); err != nil {
+			return 0, err
+		}
+		st := &clientState{sk: sk, cl: cl}
+		st.a = make([]tfhe.LWECiphertext, gates)
+		st.b = make([]tfhe.LWECiphertext, gates)
+		st.want = make([]bool, gates)
+		for g := 0; g < gates; g++ {
+			x, y := (i+g)%2 == 0, g%3 == 0
+			st.a[g] = sk.EncryptBool(rng, x)
+			st.b[g] = sk.EncryptBool(rng, y)
+			st.want[g] = !(x && y)
+		}
+		states[i] = st
+	}
+
+	// Warm every session (twiddle tables, HTTP connections), then time.
+	for _, st := range states {
+		if _, err := st.cl.GateBatch(engine.NAND, st.a[:min(4, gates)], st.b[:min(4, gates)]); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *clientState) {
+			defer wg.Done()
+			out, err := st.cl.GateBatch(engine.NAND, st.a, st.b)
+			if err == nil && len(out) != gates {
+				err = fmt.Errorf("client %s: got %d outputs, want %d", ids[i], len(out), gates)
+			}
+			if err == nil {
+				for g := range out {
+					if st.sk.DecryptBool(out[g]) != st.want[g] {
+						err = fmt.Errorf("client %s gate %d: wrong NAND output", ids[i], g)
+						break
+					}
+				}
+			}
+			errs[i] = err
+		}(i, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(clients*gates) / elapsed.Seconds(), nil
+}
+
+// runCluster measures scale-out through the routing tier: N single-worker
+// backend nodes are booted as subprocesses (GOMAXPROCS=1 each — fixed
+// per-node hardware), a router consistent-hashes sessions across them,
+// and the same concurrent multi-client workload is timed against 1 node
+// and all N, reporting aggregate PBS/s and the scaling ratio.
+func runCluster(set string, nodes, clients, gates int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	if nodes < 1 || nodes > 16 {
+		return fmt.Errorf("-cluster node count must be in [1,16], got %d", nodes)
+	}
+	if gates < 1 {
+		return fmt.Errorf("-gates must be >= 1, got %d", gates)
+	}
+	if clients < nodes {
+		clients = 2 * nodes // at least two sessions per shard
+	}
+	fmt.Printf("cluster mode: set %s, %d nodes (GOMAXPROCS=1 each), %d clients x %d gates\n",
+		p.Name, nodes, clients, gates)
+
+	fmt.Print("booting nodes... ")
+	start := time.Now()
+	urls := make([]string, nodes)
+	for i := range urls {
+		u, stop, err := startNode()
+		if err != nil {
+			return err
+		}
+		defer stop()
+		urls[i] = u
+	}
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	single, err := clusterPass(p, urls[:1], clients, gates, "cluster-single")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1 node   : %.1f PBS/s aggregate  (%d sessions on one backend)\n", single, clients)
+	multi, err := clusterPass(p, urls, clients, gates, "cluster-multi")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d nodes  : %.1f PBS/s aggregate  (sessions sharded by client ID)\n", nodes, multi)
+	fmt.Printf("scale-out: %.2fx with %dx the nodes\n", multi/single, nodes)
+	return nil
+}
+
 // runRestore measures cold-start session restore: sessions are
 // registered against a durable gate service, the service is drained and
 // a fresh one is opened over the same data directory (the crash/restart
@@ -650,6 +856,8 @@ func main() {
 	multilut := flag.Int("multilut", 0, "multi-value PBS mode: LUT outputs per blind rotation (enables the mode)")
 	serve := flag.Bool("serve", false, "gate service mode: end-to-end PBS/s through an HTTP server")
 	restore := flag.Int("restore", 0, "durable restart mode: session count for cold-start restore latency (enables the mode)")
+	cluster := flag.Int("cluster", 0, "cluster mode: backend node count for routed scale-out (enables the mode)")
+	nodeMode := flag.Bool("node", false, "internal: run as one cluster backend node (used by -cluster)")
 	clients := flag.Int("clients", 4, "serve mode: concurrent client sessions")
 	gates := flag.Int("gates", 64, "serve mode: gates per client batch")
 	parallel := flag.Int("parallel", 0, "batch/stream/serve mode: worker count (0 = NumCPU)")
@@ -670,6 +878,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *nodeMode {
+		if err := runNode(*parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -678,14 +894,22 @@ func main() {
 	}
 
 	modes := 0
-	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *serve, *restore != 0} {
+	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *serve, *restore != 0, *cluster != 0} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, -serve, and -restore are mutually exclusive; run them separately")
+		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, -serve, -restore, and -cluster are mutually exclusive; run them separately")
 		os.Exit(1)
+	}
+
+	if *cluster != 0 {
+		if err := runCluster(*set, *cluster, *clients, *gates); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *restore != 0 {

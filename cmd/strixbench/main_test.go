@@ -57,6 +57,19 @@ func TestSmoke(t *testing.T) {
 			"service  :", "in-proc  :", "PBS/s")
 	})
 
+	t.Run("cluster", func(t *testing.T) {
+		out := cmdtest.Run(t, bin, "-cluster", "2", "-clients", "2", "-gates", "4", "-set", "test")
+		cmdtest.WantSubstrings(t, out, "cluster mode: set test, 2 nodes",
+			"1 node   :", "2 nodes  :", "scale-out:", "PBS/s aggregate")
+	})
+
+	t.Run("cluster bad node count", func(t *testing.T) {
+		out, err := cmdtest.RunErr(t, bin, "-cluster", "99")
+		if err == nil {
+			t.Errorf("oversized node count succeeded:\n%s", out)
+		}
+	})
+
 	t.Run("one experiment", func(t *testing.T) {
 		out := cmdtest.Run(t, bin, "-exp", "table5")
 		cmdtest.WantSubstrings(t, out, "TABLE5", "throughput")

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/fft"
+	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/tfhe"
@@ -42,10 +43,10 @@ func EqualLWE(a, b tfhe.LWECiphertext) bool {
 	return tfhe.EqualLWE(a, b)
 }
 
-// Fixture bundles one deterministic key set with all six backends wired
-// to it, including a live in-process gate service and a second service
-// restored from a drained durable store. Close releases both services
-// and the store directory.
+// Fixture bundles one deterministic key set with every backend wired to
+// it, including a live in-process gate service, a second service
+// restored from a drained durable store, and a two-node routed cluster.
+// Close releases every service, the router, and the store directory.
 type Fixture struct {
 	SK tfhe.SecretKeys
 	EK tfhe.EvaluationKeys
@@ -54,6 +55,10 @@ type Fixture struct {
 	ts       *httptest.Server
 	tsRest   *httptest.Server
 	dir      string
+
+	rt       *router.Router
+	tsRouter *httptest.Server
+	tsNodes  [2]*httptest.Server
 }
 
 // NewFixture generates keys for the test parameter set from seed and
@@ -103,6 +108,28 @@ func NewFixture(seed int64) (*Fixture, error) {
 	f.tsRest = httptest.NewServer(restored.Handler())
 	clRest := server.Dial(f.tsRest.URL, "conformance")
 
+	// Routed-cluster backend: the same keys registered through a router
+	// fronting two fresh nodes. The session pins to its rendezvous home
+	// and every envelope takes the extra routed hop, so this backend pins
+	// the routing tier — shard pick, forward, response passthrough — to
+	// the bitwise contract.
+	for i := range f.tsNodes {
+		node := server.New(server.Config{Stream: engine.StreamConfig{RotateWorkers: 2}})
+		f.tsNodes[i] = httptest.NewServer(node.Handler())
+	}
+	rt, err := router.New(router.Config{Backends: []string{f.tsNodes[0].URL, f.tsNodes[1].URL}})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.rt = rt
+	f.tsRouter = httptest.NewServer(rt.Handler())
+	clRouted := server.Dial(f.tsRouter.URL, "conformance")
+	if err := clRouted.RegisterKey(ek); err != nil {
+		f.Close()
+		return nil, err
+	}
+
 	batch := engine.New(ek, engine.Config{Workers: 2, ChunkSize: 1})
 	stream := engine.NewStreaming(ek, engine.StreamConfig{RotateWorkers: 2, KSWorkers: 2})
 	runner := &sched.Runner{Batch: batch, Stream: stream}
@@ -120,23 +147,35 @@ func NewFixture(seed int64) (*Fixture, error) {
 		restoredBackend{serverBackend{cl: clRest}},
 		optimizedBackend{schedBackend{r: runner, cfg: sched.Config{Opt: opt}}},
 		referenceKernelBackend{seqBackend{ev: tfhe.NewEvaluator(ek)}},
+		routedBackend{serverBackend{cl: clRouted}},
 	}
 	return f, nil
 }
 
-// Backends returns the eight backends; index 0 is the sequential
+// Backends returns the nine backends; index 0 is the sequential
 // reference every other backend must match — bitwise when the backend's
 // Bitwise() promise holds, by decoded plaintext otherwise.
 func (f *Fixture) Backends() []Backend { return f.backends }
 
-// Close shuts both in-process gate services down and removes the
-// durable store directory.
+// Close shuts every in-process gate service and the router down and
+// removes the durable store directory.
 func (f *Fixture) Close() {
 	if f.ts != nil {
 		f.ts.Close()
 	}
 	if f.tsRest != nil {
 		f.tsRest.Close()
+	}
+	if f.rt != nil {
+		f.rt.Close()
+	}
+	if f.tsRouter != nil {
+		f.tsRouter.Close()
+	}
+	for _, ts := range f.tsNodes {
+		if ts != nil {
+			ts.Close()
+		}
 	}
 	if f.dir != "" {
 		os.RemoveAll(f.dir)
@@ -368,6 +407,17 @@ type optimizedBackend struct {
 func (optimizedBackend) Name() string { return "optimized-scheduled" }
 
 func (optimizedBackend) Bitwise() bool { return false }
+
+// routedBackend is the server backend reached through the routing tier:
+// the client talks to a router that consistent-hashes the session onto
+// one of two nodes and forwards every envelope there. Same bitwise
+// contract as the direct server backend — routing must never touch the
+// ciphertexts.
+type routedBackend struct {
+	serverBackend
+}
+
+func (routedBackend) Name() string { return "routed-cluster" }
 
 // referenceKernelBackend is the sequential evaluator with the unsafe fast
 // FFT kernels disabled for the duration of each operation, forcing the

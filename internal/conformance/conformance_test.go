@@ -298,13 +298,15 @@ func TestCircuitConform(t *testing.T) {
 	}
 }
 
-// TestBackendNames pins that the eight backends are present, uniquely
+// TestBackendNames pins that the nine backends are present, uniquely
 // named, led by the sequential reference, and that exactly the
 // optimizing backend relaxes the bitwise promise. The reference-kernel
-// backend rides last: it promises bitwise equality while running the
-// pure-Go kernels, which is what holds the fast path to the reference.
+// backend promises bitwise equality while running the pure-Go kernels,
+// which is what holds the fast path to the reference; the routed
+// cluster rides last and promises the hop through the routing tier is
+// bitwise invisible.
 func TestBackendNames(t *testing.T) {
-	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled", "reference-kernel"}
+	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled", "reference-kernel", "routed-cluster"}
 	bes := fixture.Backends()
 	if len(bes) != len(want) {
 		t.Fatalf("%d backends, want %d", len(bes), len(want))

@@ -1,0 +1,21 @@
+// Package router is the cluster tier of the gate service: a
+// stateless-ish HTTP router that spreads client sessions across N
+// strixserv backends and presents the same API surface as a single
+// node, so clients scale out without changing a line.
+//
+// Eval-key gravity drives the design. Evaluation keys are megabytes
+// while ciphertext batches are kilobytes, so a session must pin to the
+// node that holds its key and the work must travel to it. The router
+// picks each client's home node by rendezvous hashing the client ID
+// over the backend set, records the choice as a sticky pin when the key
+// registers, and forwards every subsequent envelope for that client to
+// the same shard.
+//
+// Backends are health-checked (periodic /v1/healthz probes with
+// consecutive-failure ejection and consecutive-success re-admission),
+// idempotent batch forwards are retried with jittered backoff, and a
+// router-level inflight cap provides cluster-wide admission control on
+// top of each node's per-session backpressure. Failures surface as the
+// server package's typed error codes (overloaded, shutting_down, ...),
+// so a routed client behaves exactly like a direct one.
+package router

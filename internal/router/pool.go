@@ -1,0 +1,233 @@
+package router
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// backend is one strixserv node in the pool, with its health state
+// machine: consecutive probe/forward failures eject it, consecutive
+// probe successes re-admit it.
+type backend struct {
+	url string
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int // consecutive failures (probes and forwards)
+	oks     int // consecutive probe successes while ejected
+}
+
+// noteFailure records one failed probe or forward and reports whether
+// the backend is (now) ejected.
+func (b *backend) noteFailure(threshold int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.oks = 0
+	b.fails++
+	if b.fails >= threshold {
+		b.healthy = false
+	}
+	return !b.healthy
+}
+
+// noteProbeSuccess records one successful health probe, re-admitting an
+// ejected backend after threshold consecutive successes.
+func (b *backend) noteProbeSuccess(threshold int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.healthy {
+		return
+	}
+	b.oks++
+	if b.oks >= threshold {
+		b.healthy = true
+		b.oks = 0
+	}
+}
+
+// noteForwardSuccess clears the failure streak. Forwards never re-admit
+// an ejected backend — only probes do, so re-admission always reflects
+// a fresh health answer rather than a stale in-flight request.
+func (b *backend) noteForwardSuccess() {
+	b.mu.Lock()
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// isHealthy reports whether the backend is currently admitted.
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// rendezvousScore is the HRW weight of placing id on url: the client
+// goes to the backend with the highest score, so removing a node only
+// remaps the sessions that lived on it.
+func rendezvousScore(id, url string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	io.WriteString(h, "|")
+	io.WriteString(h, url)
+	return h.Sum64()
+}
+
+// pool is the probed backend set plus the sticky session pins.
+type pool struct {
+	backends []*backend
+
+	pinMu sync.Mutex
+	pins  map[string]*backend // client ID → home node, set at key registration
+}
+
+// maxPins bounds the sticky-pin table. Past the bound an arbitrary pin
+// is dropped: the victim's next request falls back to the rendezvous
+// choice, which is where its key registered unless membership changed.
+const maxPins = 1 << 16
+
+func newPool(urls []string) *pool {
+	p := &pool{pins: make(map[string]*backend)}
+	for _, u := range urls {
+		p.backends = append(p.backends, &backend{url: u, healthy: true})
+	}
+	return p
+}
+
+// rendezvous returns the highest-scoring backend for id among candidates,
+// or nil if candidates is empty.
+func rendezvous(id string, candidates []*backend) *backend {
+	var best *backend
+	var bestScore uint64
+	for _, b := range candidates {
+		if s := rendezvousScore(id, b.url); best == nil || s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// pick chooses the target backend for one attempt of a request from id:
+// the sticky pin if one exists (key gravity — the session's key lives
+// there, healthy or not), otherwise the rendezvous choice among healthy
+// backends not yet tried this request, falling back to all healthy ones.
+func (p *pool) pick(id string, tried map[*backend]bool) *backend {
+	p.pinMu.Lock()
+	pinned := p.pins[id]
+	p.pinMu.Unlock()
+	if pinned != nil {
+		return pinned
+	}
+	var healthy, fresh []*backend
+	for _, b := range p.backends {
+		if !b.isHealthy() {
+			continue
+		}
+		healthy = append(healthy, b)
+		if !tried[b] {
+			fresh = append(fresh, b)
+		}
+	}
+	if len(fresh) > 0 {
+		return rendezvous(id, fresh)
+	}
+	return rendezvous(id, healthy)
+}
+
+// pin records id's home node, evicting an arbitrary pin at the bound.
+func (p *pool) pin(id string, b *backend) {
+	p.pinMu.Lock()
+	defer p.pinMu.Unlock()
+	if _, exists := p.pins[id]; !exists && len(p.pins) >= maxPins {
+		for victim := range p.pins {
+			delete(p.pins, victim)
+			break
+		}
+	}
+	p.pins[id] = b
+}
+
+// unpin forgets id's home node (the session was deleted).
+func (p *pool) unpin(id string) {
+	p.pinMu.Lock()
+	delete(p.pins, id)
+	p.pinMu.Unlock()
+}
+
+// pinCount returns the number of sticky pins on b.
+func (p *pool) pinCount(b *backend) int {
+	p.pinMu.Lock()
+	defer p.pinMu.Unlock()
+	n := 0
+	for _, pb := range p.pins {
+		if pb == b {
+			n++
+		}
+	}
+	return n
+}
+
+// healthyCount returns how many backends are currently admitted.
+func (p *pool) healthyCount() int {
+	n := 0
+	for _, b := range p.backends {
+		if b.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// probe runs one health-check round: every backend answers
+// GET /v1/healthz within the probe timeout or takes a failure. A
+// draining backend counts as failed — it is shutting down, so new work
+// must stop landing on it.
+func (p *pool) probe(hc *http.Client, failThreshold, recoverThreshold int) {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			if probeOne(hc, b.url) {
+				b.noteProbeSuccess(recoverThreshold)
+			} else {
+				b.noteFailure(failThreshold)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probeOne reports whether the node at url is up and accepting work.
+func probeOne(hc *http.Client, url string) bool {
+	resp, err := hc.Get(url + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var h server.HealthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && !h.Draining
+}
+
+// probeLoop probes every interval until stop closes.
+func (p *pool) probeLoop(hc *http.Client, interval time.Duration, failThreshold, recoverThreshold int, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.probe(hc, failThreshold, recoverThreshold)
+		}
+	}
+}

@@ -1,0 +1,474 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config parameterizes a Router. The zero value of every field except
+// Backends picks a sensible default.
+type Config struct {
+	// Backends are the strixserv base URLs to shard across, e.g.
+	// "http://10.0.0.7:8475". At least one is required.
+	Backends []string
+
+	// ProbeInterval is the period between /v1/healthz probe rounds
+	// (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold ejects a backend after this many consecutive failed
+	// probes or forwards (default 3).
+	FailThreshold int
+	// RecoverThreshold re-admits an ejected backend after this many
+	// consecutive successful probes (default 2).
+	RecoverThreshold int
+
+	// MaxInflight caps concurrently forwarded eval/register requests
+	// across the whole cluster (default 256). Observability endpoints
+	// are exempt.
+	MaxInflight int
+	// AdmitTimeout is how long a request waits for an inflight slot
+	// before the router refuses it as overloaded (default 2s).
+	AdmitTimeout time.Duration
+
+	// MaxRetries re-forwards an idempotent request that failed
+	// temporarily — connection error or 503 — up to this many times
+	// (default 3). Batch evaluation is idempotent, so replays are safe.
+	MaxRetries int
+	// RetryBase seeds the jittered exponential backoff between forward
+	// attempts (default 50ms).
+	RetryBase time.Duration
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RecoverThreshold <= 0 {
+		cfg.RecoverThreshold = 2
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.AdmitTimeout <= 0 {
+		cfg.AdmitTimeout = 2 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+}
+
+// Router fans one gate-service API out over a pool of strixserv
+// backends. Safe for concurrent use; create with New and release the
+// probe goroutine with Close.
+type Router struct {
+	cfg   Config
+	pool  *pool
+	hc    *http.Client // forwards: no timeout, batches run long
+	probe *http.Client // probes: short timeout
+
+	admit chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a Router over cfg.Backends and starts its health-probe
+// loop. Backends start admitted; the first probe round corrects that
+// within ProbeInterval.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	cfg.applyDefaults()
+	urls := make([]string, len(cfg.Backends))
+	seen := make(map[string]bool)
+	for i, u := range cfg.Backends {
+		urls[i] = strings.TrimRight(u, "/")
+		if seen[urls[i]] {
+			return nil, fmt.Errorf("router: duplicate backend %q", urls[i])
+		}
+		seen[urls[i]] = true
+	}
+	r := &Router{
+		cfg:   cfg,
+		pool:  newPool(urls),
+		hc:    &http.Client{},
+		probe: &http.Client{Timeout: cfg.ProbeTimeout},
+		admit: make(chan struct{}, cfg.MaxInflight),
+		stop:  make(chan struct{}),
+	}
+	go r.pool.probeLoop(r.probe, cfg.ProbeInterval, cfg.FailThreshold, cfg.RecoverThreshold, r.stop)
+	return r, nil
+}
+
+// Close stops the health-probe loop. In-flight forwards finish.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+}
+
+// Drain marks the router as shutting down: every new evaluation or
+// registration is refused with code shutting_down. Observability
+// endpoints keep answering so orchestrators can watch the drain.
+func (r *Router) Drain() {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (r *Router) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// ShardOf returns the backend URL the rendezvous hash assigns clientID
+// to, ignoring health and pins — the home node a fresh registration
+// would pick on a fully healthy pool. Deterministic in (clientID,
+// configured backend set).
+func (r *Router) ShardOf(clientID string) string {
+	return rendezvous(clientID, r.pool.backends).url
+}
+
+// BackendStatus describes one pool member in a ClusterResponse.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Pins    int    `json:"pins"` // sessions pinned to this node
+}
+
+// ClusterResponse frames GET /v1/cluster: the router's own view of the
+// pool.
+type ClusterResponse struct {
+	Backends []BackendStatus `json:"backends"`
+	Draining bool            `json:"draining"`
+}
+
+// Handler returns the router's HTTP API — the same surface as a single
+// strixserv node, plus GET /v1/cluster for pool introspection:
+//
+//	POST   /v2/eval                  forwarded to the client's shard
+//	POST   /v1/register-key          forwarded; pins the session
+//	POST   /v1/gate-batch            forwarded (v1 shim on the shard)
+//	POST   /v1/lut-batch             forwarded
+//	POST   /v1/multilut-batch        forwarded
+//	POST   /v1/circuit-batch         forwarded
+//	GET    /v1/stats                 merged across healthy backends
+//	GET    /v1/sessions              merged across healthy backends
+//	GET    /v1/healthz               router + pool health
+//	GET    /v1/cluster               ClusterResponse
+//	DELETE /v1/sessions/{client_id}  forwarded to the shard; unpins
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/eval", r.forwardByBody)
+	mux.HandleFunc("POST /v1/register-key", r.forwardByBody)
+	mux.HandleFunc("POST /v1/gate-batch", r.forwardByBody)
+	mux.HandleFunc("POST /v1/lut-batch", r.forwardByBody)
+	mux.HandleFunc("POST /v1/multilut-batch", r.forwardByBody)
+	mux.HandleFunc("POST /v1/circuit-batch", r.forwardByBody)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /v1/sessions", r.handleSessions)
+	mux.HandleFunc("GET /v1/healthz", r.handleHealthz)
+	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+	mux.HandleFunc("DELETE /v1/sessions/{client_id}", r.handleDeleteSession)
+	return mux
+}
+
+// writeRouterError emits the server package's error frame, so routed
+// clients decode router-origin failures exactly like node-origin ones.
+func writeRouterError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg, Code: code})
+}
+
+// admitOne takes one cluster-wide inflight slot, refusing with
+// shutting_down when draining and overloaded when the cap stays full
+// past AdmitTimeout. The release func must be called exactly once.
+func (r *Router) admitOne(w http.ResponseWriter) (release func(), ok bool) {
+	if r.Draining() {
+		writeRouterError(w, http.StatusServiceUnavailable, server.CodeShuttingDown, "router is draining")
+		return nil, false
+	}
+	select {
+	case r.admit <- struct{}{}:
+	default:
+		t := time.NewTimer(r.cfg.AdmitTimeout)
+		defer t.Stop()
+		select {
+		case r.admit <- struct{}{}:
+		case <-t.C:
+			writeRouterError(w, http.StatusServiceUnavailable, server.CodeOverloaded, "router inflight cap reached")
+			return nil, false
+		}
+	}
+	return func() { <-r.admit }, true
+}
+
+// clientIDOf extracts the routing key from a request body: every
+// evaluation and registration frame carries client_id at the top level.
+func clientIDOf(body []byte) string {
+	var frame struct {
+		ClientID string `json:"client_id"`
+	}
+	if err := json.Unmarshal(body, &frame); err != nil {
+		return ""
+	}
+	return frame.ClientID
+}
+
+// forwardByBody routes one POST by the client_id inside its JSON body:
+// admission, shard pick, bounded-retry forward, verbatim response
+// passthrough.
+func (r *Router) forwardByBody(w http.ResponseWriter, req *http.Request) {
+	release, ok := r.admitOne(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	limit := int64(server.MaxBatchBodyBytes)
+	if req.URL.Path == "/v1/register-key" {
+		limit = server.MaxKeyBodyBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, limit))
+	if err != nil {
+		writeRouterError(w, http.StatusRequestEntityTooLarge, server.CodeTooLarge, "request body too large")
+		return
+	}
+	id := clientIDOf(body)
+	if id == "" {
+		writeRouterError(w, http.StatusBadRequest, server.CodeBadRequest, "router: missing client_id")
+		return
+	}
+	r.forward(w, req.URL.Path, id, body, req.URL.Path == "/v1/register-key")
+}
+
+// forward sends body to id's shard, retrying temporary failures with
+// jittered backoff. A pinned client always re-targets its home node —
+// its eval key lives nowhere else, so the retry rides out the node's
+// ejection and lands once probes re-admit it. Unpinned requests re-pick
+// among the remaining healthy backends each attempt.
+func (r *Router) forward(w http.ResponseWriter, path, id string, body []byte, pinOnSuccess bool) {
+	tried := make(map[*backend]bool)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		b := r.pool.pick(id, tried)
+		if b == nil {
+			writeRouterError(w, http.StatusServiceUnavailable, server.CodeOverloaded, "router: no healthy backend")
+			return
+		}
+		tried[b] = true
+		resp, err := r.hc.Post(b.url+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.noteFailure(r.cfg.FailThreshold)
+			lastErr = err
+			if attempt >= r.cfg.MaxRetries {
+				writeRouterError(w, http.StatusServiceUnavailable, server.CodeOverloaded,
+					fmt.Sprintf("router: backend unreachable: %v", lastErr))
+				return
+			}
+			time.Sleep(r.backoff(attempt))
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < r.cfg.MaxRetries {
+			// The node refused temporarily (overloaded or draining):
+			// count it toward ejection and retry after backoff.
+			resp.Body.Close()
+			b.noteFailure(r.cfg.FailThreshold)
+			time.Sleep(r.backoff(attempt))
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			b.noteForwardSuccess()
+			if pinOnSuccess {
+				r.pool.pin(id, b)
+			}
+		}
+		passthrough(w, resp)
+		return
+	}
+}
+
+// backoff returns the jittered exponential delay before retry attempt.
+func (r *Router) backoff(attempt int) time.Duration {
+	d := r.cfg.RetryBase << attempt
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// passthrough relays a backend response verbatim — status, content
+// type, and body — so typed error codes survive the hop.
+func passthrough(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// fanoutGet issues GET path to every healthy backend and returns the
+// decoded bodies that answered 200.
+func fanoutGet[T any](r *Router, path string) []T {
+	var mu sync.Mutex
+	var out []T
+	var wg sync.WaitGroup
+	for _, b := range r.pool.backends {
+		if !b.isHealthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			resp, err := r.probe.Get(b.url + path)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var v T
+			if json.NewDecoder(io.LimitReader(resp.Body, int64(server.MaxBatchBodyBytes))).Decode(&v) != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, v)
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	return out
+}
+
+// handleStats merges every healthy backend's Stats into one cluster
+// snapshot: counters sum, session lists concatenate.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	var merged server.Stats
+	for _, st := range fanoutGet[server.Stats](r, "/v1/stats") {
+		merged.MaxSessions += st.MaxSessions
+		merged.Evictions += st.Evictions
+		merged.Restores += st.Restores
+		merged.Persisted += st.Persisted
+		merged.Sessions = append(merged.Sessions, st.Sessions...)
+	}
+	merged.Draining = r.Draining()
+	writeOK(w, merged)
+}
+
+// handleSessions concatenates every healthy backend's session list.
+func (r *Router) handleSessions(w http.ResponseWriter, req *http.Request) {
+	var merged server.SessionsResponse
+	merged.Sessions = []server.SessionInfo{}
+	for _, sr := range fanoutGet[server.SessionsResponse](r, "/v1/sessions") {
+		merged.Sessions = append(merged.Sessions, sr.Sessions...)
+	}
+	writeOK(w, merged)
+}
+
+// handleHealthz answers for the cluster: ok while at least one backend
+// is admitted and the router is not draining; 503 otherwise, with the
+// server package's health frame so probes of a router and of a node
+// read the same.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	healthy := r.pool.healthyCount()
+	sessions := 0
+	for _, st := range fanoutGet[server.HealthResponse](r, "/v1/healthz") {
+		sessions += st.Sessions
+	}
+	h := server.HealthResponse{Status: "ok", Sessions: sessions, Draining: r.Draining()}
+	status := http.StatusOK
+	switch {
+	case h.Draining:
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case healthy == 0:
+		h.Status = "no healthy backends"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleCluster reports the router's view of the pool.
+func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
+	resp := ClusterResponse{Draining: r.Draining()}
+	for _, b := range r.pool.backends {
+		resp.Backends = append(resp.Backends, BackendStatus{
+			URL:     b.url,
+			Healthy: b.isHealthy(),
+			Pins:    r.pool.pinCount(b),
+		})
+	}
+	writeOK(w, resp)
+}
+
+// handleDeleteSession forwards the delete to the client's shard and
+// drops the sticky pin, so a re-registration re-runs placement.
+func (r *Router) handleDeleteSession(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("client_id")
+	b := r.pool.pick(id, nil)
+	if b == nil {
+		writeRouterError(w, http.StatusServiceUnavailable, server.CodeOverloaded, "router: no healthy backend")
+		return
+	}
+	delReq, err := http.NewRequest(http.MethodDelete, b.url+"/v1/sessions/"+id, nil)
+	if err != nil {
+		writeRouterError(w, http.StatusInternalServerError, server.CodeInternal, err.Error())
+		return
+	}
+	resp, err := r.hc.Do(delReq)
+	if err != nil {
+		b.noteFailure(r.cfg.FailThreshold)
+		writeRouterError(w, http.StatusServiceUnavailable, server.CodeOverloaded,
+			fmt.Sprintf("router: backend unreachable: %v", err))
+		return
+	}
+	if resp.StatusCode == http.StatusOK {
+		r.pool.unpin(id)
+	}
+	passthrough(w, resp)
+}
+
+// writeOK emits one 200 JSON response.
+func writeOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(v)
+}

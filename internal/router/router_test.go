@@ -1,0 +1,482 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/tfhe"
+)
+
+// testKeys caches one deterministic test-set key pair for the package.
+var (
+	keysOnce sync.Once
+	cachedSK tfhe.SecretKeys
+	cachedEK tfhe.EvaluationKeys
+)
+
+func testKeys(t *testing.T) (tfhe.SecretKeys, tfhe.EvaluationKeys) {
+	t.Helper()
+	keysOnce.Do(func() {
+		cachedSK, cachedEK = tfhe.GenerateKeys(rand.New(rand.NewSource(1)), tfhe.ParamsTest)
+	})
+	return cachedSK, cachedEK
+}
+
+// newBackend boots one in-process gate service node.
+func newBackend(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// fastConfig returns a Config tuned for tests: tight probes, instant
+// ejection and re-admission, quick retries.
+func fastConfig(backends ...string) Config {
+	return Config{
+		Backends:         backends,
+		ProbeInterval:    20 * time.Millisecond,
+		FailThreshold:    1,
+		RecoverThreshold: 1,
+		MaxRetries:       5,
+		RetryBase:        30 * time.Millisecond,
+	}
+}
+
+// newRouter builds a Router plus its HTTP front for a test.
+func newRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+// encryptBools encrypts a bit vector under sk.
+func encryptBools(sk tfhe.SecretKeys, seed int64, bits []bool) []tfhe.LWECiphertext {
+	rng := rand.New(rand.NewSource(seed))
+	cts := make([]tfhe.LWECiphertext, len(bits))
+	for i, b := range bits {
+		cts[i] = sk.EncryptBool(rng, b)
+	}
+	return cts
+}
+
+// sessionIDs returns the IDs living on a node.
+func sessionIDs(srv *server.Server) map[string]bool {
+	ids := make(map[string]bool)
+	for _, s := range srv.SessionList() {
+		ids[s.ID] = true
+	}
+	return ids
+}
+
+// TestRoutedRegisterAndEval is the routed happy path: sessions register
+// through the router, spread across the pool by the rendezvous hash, and
+// every envelope kind evaluates through the router to correct plaintexts.
+func TestRoutedRegisterAndEval(t *testing.T) {
+	sk, ek := testKeys(t)
+	srvA, tsA := newBackend(t)
+	srvB, tsB := newBackend(t)
+	r, rts := newRouter(t, fastConfig(tsA.URL, tsB.URL))
+
+	// Register enough clients that both shards get at least one, pinning
+	// where the rendezvous hash says they belong.
+	var clients []*server.Client
+	for i := 0; i < 8; i++ {
+		cl := server.Dial(rts.URL, fmt.Sprintf("client-%d", i))
+		if err := cl.RegisterKey(ek); err != nil {
+			t.Fatalf("register client-%d: %v", i, err)
+		}
+		clients = append(clients, cl)
+	}
+	idsA, idsB := sessionIDs(srvA), sessionIDs(srvB)
+	if len(idsA) == 0 || len(idsB) == 0 {
+		t.Fatalf("lopsided placement: %d vs %d sessions", len(idsA), len(idsB))
+	}
+	if len(idsA)+len(idsB) != len(clients) {
+		t.Fatalf("placed %d+%d sessions for %d clients", len(idsA), len(idsB), len(clients))
+	}
+	for i, cl := range clients {
+		home := r.ShardOf(cl.ClientID())
+		onA := idsA[cl.ClientID()]
+		if (home == tsA.URL) != onA {
+			t.Errorf("client-%d: ShardOf says %s but session on A=%v", i, home, onA)
+		}
+	}
+
+	bits := []bool{true, false, true, true}
+	shift := []bool{false, true, true, false}
+	for _, cl := range clients[:2] {
+		out, err := cl.GateBatch(engine.NAND, encryptBools(sk, 10, bits), encryptBools(sk, 11, shift))
+		if err != nil {
+			t.Fatalf("%s gate batch: %v", cl.ClientID(), err)
+		}
+		for i := range bits {
+			if got := sk.DecryptBool(out[i]); got != !(bits[i] && shift[i]) {
+				t.Errorf("%s item %d = %v", cl.ClientID(), i, got)
+			}
+		}
+	}
+
+	// The merged observability surface sees the whole cluster.
+	st, err := clients[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != len(clients) {
+		t.Errorf("merged stats report %d sessions, want %d", len(st.Sessions), len(clients))
+	}
+	sess, err := clients[0].Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess) != len(clients) {
+		t.Errorf("merged sessions report %d, want %d", len(sess), len(clients))
+	}
+
+	// Typed errors pass through the router verbatim.
+	ghost := server.Dial(rts.URL, "ghost")
+	_, err = ghost.GateBatch(engine.NOT, encryptBools(sk, 12, bits), nil)
+	var api *server.APIError
+	if !errors.As(err, &api) || api.Code != server.CodeUnknownSession {
+		t.Errorf("unrouted session error = %v, want unknown_session", err)
+	}
+
+	// Deleting through the router unpins and evicts on the right shard.
+	victim := clients[0].ClientID()
+	if _, err := clients[0].DeleteSession(victim); err != nil {
+		t.Fatal(err)
+	}
+	if sessionIDs(srvA)[victim] || sessionIDs(srvB)[victim] {
+		t.Errorf("%s still present after routed delete", victim)
+	}
+}
+
+// TestBackendDownAtRegister covers the first failure mode: one pool
+// member is unreachable from the start. Registrations whose rendezvous
+// choice is the dead node must retry onto the live one instead of
+// failing.
+func TestBackendDownAtRegister(t *testing.T) {
+	_, ek := testKeys(t)
+	srvLive, tsLive := newBackend(t)
+
+	// A listener that was closed immediately: connection refused.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + lis.Addr().String()
+	lis.Close()
+
+	r, rts := newRouter(t, fastConfig(tsLive.URL, deadURL))
+
+	// Find an ID whose rendezvous home is the dead node, so the first
+	// forward attempt really does hit it.
+	id := ""
+	for i := 0; i < 256; i++ {
+		candidate := fmt.Sprintf("doomed-%d", i)
+		if r.ShardOf(candidate) == deadURL {
+			id = candidate
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no candidate ID hashes to the dead backend")
+	}
+
+	cl := server.Dial(rts.URL, id)
+	if err := cl.RegisterKey(ek); err != nil {
+		t.Fatalf("register with one backend down: %v", err)
+	}
+	if !sessionIDs(srvLive)[id] {
+		t.Error("session did not land on the live backend")
+	}
+}
+
+// TestBackendDiesMidBatch covers the second failure mode: the client's
+// home node dies between register and batch, then comes back on the
+// same address. The routed retry must ride out the outage and land on
+// the same shard — the eval key lives nowhere else.
+func TestBackendDiesMidBatch(t *testing.T) {
+	sk, ek := testKeys(t)
+	srvB, tsB := newBackend(t)
+
+	// Node A runs on a listener we control, so it can die and return on
+	// the same address with its warm sessions intact.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srvA := server.New(server.Config{})
+	hsA := &http.Server{Handler: srvA.Handler()}
+	go hsA.Serve(lis)
+	t.Cleanup(func() { hsA.Close() })
+
+	_, rts := newRouter(t, fastConfig("http://"+addr, tsB.URL))
+
+	// Pin a client to node A.
+	id := ""
+	var cl *server.Client
+	for i := 0; i < 256 && id == ""; i++ {
+		candidate := fmt.Sprintf("mover-%d", i)
+		c := server.Dial(rts.URL, candidate)
+		if err := c.RegisterKey(ek); err != nil {
+			t.Fatalf("register %s: %v", candidate, err)
+		}
+		if sessionIDs(srvA)[candidate] {
+			id, cl = candidate, c
+		}
+	}
+	if id == "" {
+		t.Fatal("no client landed on node A")
+	}
+
+	// Kill node A, and bring it back on the same address mid-retry.
+	if err := hsA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restarted := make(chan error, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		var lis2 net.Listener
+		var err error
+		for i := 0; i < 50; i++ {
+			if lis2, err = net.Listen("tcp", addr); err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			restarted <- err
+			return
+		}
+		hs2 := &http.Server{Handler: srvA.Handler()}
+		t.Cleanup(func() { hs2.Close() })
+		go hs2.Serve(lis2)
+		restarted <- nil
+	}()
+
+	bits := []bool{true, false, true}
+	out, err := cl.GateBatch(engine.NOT, encryptBools(sk, 20, bits), nil)
+	if err != nil {
+		t.Fatalf("gate batch across backend restart: %v", err)
+	}
+	if err := <-restarted; err != nil {
+		t.Fatalf("rebind node A: %v", err)
+	}
+	for i, b := range bits {
+		if got := sk.DecryptBool(out[i]); got != !b {
+			t.Errorf("item %d = %v, want %v", i, got, !b)
+		}
+	}
+	// The session never moved shards: still on A, never created on B.
+	if !sessionIDs(srvA)[id] {
+		t.Error("session missing from node A after restart")
+	}
+	if sessionIDs(srvB)[id] {
+		t.Error("retry leaked the session onto node B")
+	}
+}
+
+// TestDrainOneBackend covers the third failure mode: one node drains
+// while the cluster keeps serving. Probes must eject the draining node,
+// traffic pinned to the healthy node must be untouched, and clients
+// pinned to the draining node must see the typed shutting_down code.
+func TestDrainOneBackend(t *testing.T) {
+	sk, ek := testKeys(t)
+	srvA, tsA := newBackend(t)
+	srvB, tsB := newBackend(t)
+	r, rts := newRouter(t, fastConfig(tsA.URL, tsB.URL))
+
+	var onA, onB *server.Client
+	for i := 0; i < 256 && (onA == nil || onB == nil); i++ {
+		id := fmt.Sprintf("drain-%d", i)
+		c := server.Dial(rts.URL, id)
+		c.SetRetry(0, time.Millisecond) // typed errors must surface, not retry
+		if err := c.RegisterKey(ek); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+		if onA == nil && sessionIDs(srvA)[id] {
+			onA = c
+		}
+		if onB == nil && sessionIDs(srvB)[id] {
+			onB = c
+		}
+	}
+	if onA == nil || onB == nil {
+		t.Fatal("could not pin a client to each node")
+	}
+
+	srvA.Drain()
+	// Wait for the probe loop to eject A.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.pool.healthyCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("probes never ejected the draining backend")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The healthy shard serves on.
+	bits := []bool{true, false}
+	out, err := onB.GateBatch(engine.NOT, encryptBools(sk, 30, bits), nil)
+	if err != nil {
+		t.Fatalf("batch on healthy shard during drain: %v", err)
+	}
+	for i, b := range bits {
+		if got := sk.DecryptBool(out[i]); got != !b {
+			t.Errorf("item %d = %v", i, got)
+		}
+	}
+
+	// The drained shard's pinned client gets the typed refusal.
+	_, err = onA.GateBatch(engine.NOT, encryptBools(sk, 31, bits), nil)
+	var api *server.APIError
+	if !errors.As(err, &api) || api.Code != server.CodeShuttingDown {
+		t.Errorf("drained shard error = %v, want shutting_down", err)
+	}
+
+	// New sessions keep landing — on the healthy node, wherever their
+	// rendezvous home was.
+	fresh := server.Dial(rts.URL, "drain-fresh")
+	if err := fresh.RegisterKey(ek); err != nil {
+		t.Fatalf("register during drain: %v", err)
+	}
+	if !sessionIDs(srvB)["drain-fresh"] {
+		t.Error("fresh session did not land on the healthy node")
+	}
+}
+
+// TestRendezvousStability covers the fourth failure mode: pool
+// membership changes. Removing one backend must remap only the IDs that
+// lived on it — every other assignment is untouched, which is the whole
+// point of rendezvous hashing.
+func TestRendezvousStability(t *testing.T) {
+	urls := []string{"http://node-a", "http://node-b", "http://node-c"}
+	full := newPool(urls)
+	reduced := newPool([]string{urls[0], urls[2]}) // node-b removed
+
+	moved, stayed := 0, 0
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("session-%04d", i)
+		before := rendezvous(id, full.backends).url
+		after := rendezvous(id, reduced.backends).url
+		if before == urls[1] {
+			moved++
+			continue // displaced sessions may land anywhere
+		}
+		stayed++
+		if after != before {
+			t.Fatalf("%s moved %s → %s though its node survived", id, before, after)
+		}
+	}
+	// Sanity: the hash spreads sessions over all three nodes.
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("degenerate distribution: %d moved, %d stayed", moved, stayed)
+	}
+	if moved < 2000/6 || moved > 2000/2 {
+		t.Errorf("node-b held %d of 2000 sessions — rendezvous badly unbalanced", moved)
+	}
+}
+
+// TestAdmissionControl pins the router-level inflight cap: when the
+// cluster-wide slot pool is exhausted past the admit timeout, the
+// router refuses with the typed overloaded code instead of queueing
+// without bound.
+func TestAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/v1/healthz" {
+			writeOK(w, server.HealthResponse{Status: "ok"})
+			return
+		}
+		<-release
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"out":[],"k":1}`))
+	}))
+	defer slow.Close()
+	defer close(release)
+
+	cfg := fastConfig(slow.URL)
+	cfg.MaxInflight = 1
+	cfg.AdmitTimeout = 50 * time.Millisecond
+	cfg.MaxRetries = 1
+	r, rts := newRouter(t, cfg)
+
+	// First request occupies the only slot: it routes to the slow
+	// backend and parks there until release closes at test end.
+	go http.Post(rts.URL+"/v2/eval", "application/json",
+		strings.NewReader(`{"client_id":"occupier","kind":"lut","space":4,"table":[0,1,2,3]}`))
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.admit) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("occupier never took the inflight slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cl := server.Dial(rts.URL, "crowded")
+	cl.SetRetry(0, time.Millisecond)
+	_, err := cl.LUTBatch(nil, 4, []int{0, 1, 2, 3})
+	var api *server.APIError
+	if !errors.As(err, &api) || api.Code != server.CodeOverloaded {
+		t.Errorf("cap-exceeded error = %v, want overloaded", err)
+	}
+}
+
+// TestRouterDrain pins the router's own shutdown signaling: after Drain
+// every evaluation is refused shutting_down and healthz flips to 503,
+// while the cluster introspection endpoint keeps answering.
+func TestRouterDrain(t *testing.T) {
+	_, ts := newBackend(t)
+	r, rts := newRouter(t, fastConfig(ts.URL))
+	r.Drain()
+
+	cl := server.Dial(rts.URL, "late")
+	cl.SetRetry(0, time.Millisecond)
+	_, err := cl.LUTBatch(nil, 4, []int{0, 1, 2, 3})
+	var api *server.APIError
+	if !errors.As(err, &api) || api.Code != server.CodeShuttingDown {
+		t.Errorf("drained router error = %v, want shutting_down", err)
+	}
+	if _, err := cl.Healthz(); !errors.As(err, &api) || api.Code != server.CodeShuttingDown {
+		t.Errorf("drained router healthz = %v, want shutting_down", err)
+	}
+
+	resp, err := http.Get(rts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cluster introspection during drain: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestRouterConfigValidation pins constructor errors: an empty pool and
+// duplicate members are configuration bugs, not runtime surprises.
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := New(Config{Backends: []string{"http://x", "http://x/"}}); err == nil {
+		t.Error("duplicate backends accepted")
+	}
+}

@@ -163,18 +163,32 @@ func (c *Client) RegisterKey(ek tfhe.EvaluationKeys) error {
 	return c.post("/v1/register-key", RegisterKeyRequest{ClientID: c.id, EvalKey: blob}, &resp)
 }
 
+// eval posts one v2 evaluation envelope under this client's ID and
+// decodes the flat output batch. Every evaluation method — gate, LUT,
+// multi-value LUT, circuit — funnels through here, so retry policy,
+// error typing, and any future routing concerns live in one place.
+func (c *Client) eval(req EvalRequest) ([]tfhe.LWECiphertext, int, error) {
+	req.ClientID = c.id
+	var resp EvalResponse
+	if err := c.post("/v2/eval", req, &resp); err != nil {
+		return nil, 0, err
+	}
+	out, err := decodeCiphertexts(resp.Out, "out")
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, resp.K, nil
+}
+
 // GateBatch evaluates out[i] = op(a[i], b[i]) on the server. For the unary
 // NOT, b must be nil.
 func (c *Client) GateBatch(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
-	req := GateBatchRequest{ClientID: c.id, Op: op.String(), A: encodeCiphertexts(a)}
+	req := EvalRequest{Kind: EvalKindGate, Op: op.String(), A: encodeCiphertexts(a)}
 	if b != nil {
 		req.B = encodeCiphertexts(b)
 	}
-	var resp BatchResponse
-	if err := c.post("/v1/gate-batch", req, &resp); err != nil {
-		return nil, err
-	}
-	return decodeCiphertexts(resp.Out, "out")
+	out, _, err := c.eval(req)
+	return out, err
 }
 
 // CircuitBatch runs a built circuit on the server: the DAG ships as
@@ -182,48 +196,38 @@ func (c *Client) GateBatch(op engine.GateOp, a, b []tfhe.LWECiphertext) ([]tfhe.
 // level dispatch with concurrent session traffic. Outputs return in the
 // circuit's Output declaration order.
 func (c *Client) CircuitBatch(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
-	req := CircuitBatchRequest{
-		ClientID: c.id,
-		Nodes:    circ.Specs(),
-		Outputs:  circ.OutputWires(),
-		Inputs:   encodeCiphertexts(inputs),
-	}
-	var resp BatchResponse
-	if err := c.post("/v1/circuit-batch", req, &resp); err != nil {
-		return nil, err
-	}
-	return decodeCiphertexts(resp.Out, "out")
+	return c.CircuitBatchOpts(circ, inputs, EvalOpts{})
 }
 
-// CircuitBatchOptimized is CircuitBatch with the server-side optimizer
-// pass pipeline enabled: the service rewrites the circuit (CSE,
-// pruning, linear folding, bootstrap fusion, multi-value packing within
-// its parameter set) before executing it. Outputs decode identically to
-// CircuitBatch's but are not bitwise identical to them.
+// CircuitBatchOpts is CircuitBatch with the envelope options exposed:
+// EvalOpts{Optimize: true} runs the server-side optimizer pass pipeline
+// (CSE, pruning, linear folding, bootstrap fusion, multi-value packing
+// within the session's parameter set) before execution. Optimized
+// outputs decode identically to unoptimized ones but are not bitwise
+// identical to them.
+func (c *Client) CircuitBatchOpts(circ *sched.Circuit, inputs []tfhe.LWECiphertext, opts EvalOpts) ([]tfhe.LWECiphertext, error) {
+	out, _, err := c.eval(EvalRequest{
+		Kind:    EvalKindCircuit,
+		Nodes:   circ.Specs(),
+		Outputs: circ.OutputWires(),
+		Inputs:  encodeCiphertexts(inputs),
+		Opts:    opts,
+	})
+	return out, err
+}
+
+// CircuitBatchOptimized is CircuitBatchOpts with Optimize set.
+//
+// Deprecated: use CircuitBatchOpts(circ, inputs, EvalOpts{Optimize: true}).
 func (c *Client) CircuitBatchOptimized(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
-	req := CircuitBatchRequest{
-		ClientID: c.id,
-		Nodes:    circ.Specs(),
-		Outputs:  circ.OutputWires(),
-		Inputs:   encodeCiphertexts(inputs),
-		Optimize: true,
-	}
-	var resp BatchResponse
-	if err := c.post("/v1/circuit-batch", req, &resp); err != nil {
-		return nil, err
-	}
-	return decodeCiphertexts(resp.Out, "out")
+	return c.CircuitBatchOpts(circ, inputs, EvalOpts{Optimize: true})
 }
 
 // LUTBatch applies the lookup table (length space, entries in
 // {0..space-1}) to every ciphertext on the server.
 func (c *Client) LUTBatch(cts []tfhe.LWECiphertext, space int, table []int) ([]tfhe.LWECiphertext, error) {
-	req := LUTBatchRequest{ClientID: c.id, Space: space, Table: table, Cts: encodeCiphertexts(cts)}
-	var resp BatchResponse
-	if err := c.post("/v1/lut-batch", req, &resp); err != nil {
-		return nil, err
-	}
-	return decodeCiphertexts(resp.Out, "out")
+	out, _, err := c.eval(EvalRequest{Kind: EvalKindLUT, Space: space, Table: table, Cts: encodeCiphertexts(cts)})
+	return out, err
 }
 
 // MultiLUTBatch applies k lookup tables (each length space, entries in
@@ -231,18 +235,16 @@ func (c *Client) LUTBatch(cts []tfhe.LWECiphertext, space int, table []int) ([]t
 // one blind rotation per input serves all k tables. out[i][j] is table j
 // applied to cts[i].
 func (c *Client) MultiLUTBatch(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
-	req := MultiLUTBatchRequest{ClientID: c.id, Space: space, Tables: tables, Cts: encodeCiphertexts(cts)}
-	var resp MultiLUTBatchResponse
-	if err := c.post("/v1/multilut-batch", req, &resp); err != nil {
+	flat, k, err := c.eval(EvalRequest{Kind: EvalKindMultiLUT, Space: space, Tables: tables, Cts: encodeCiphertexts(cts)})
+	if err != nil {
 		return nil, err
 	}
-	out := make([][]tfhe.LWECiphertext, len(resp.Out))
-	for i, blobs := range resp.Out {
-		outs, err := decodeCiphertexts(blobs, "out")
-		if err != nil {
-			return nil, err
-		}
-		out[i] = outs
+	if k <= 0 || len(flat)%k != 0 {
+		return nil, fmt.Errorf("server: eval reply shape %d outputs / k=%d", len(flat), k)
+	}
+	out := make([][]tfhe.LWECiphertext, 0, len(flat)/k)
+	for i := 0; i < len(flat); i += k {
+		out = append(out, flat[i:i+k])
 	}
 	return out, nil
 }

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestEvalShapeValidation pins the envelope's one-kind-one-meaning rule:
+// unknown kinds, payload fields leaking across kinds, and options a kind
+// does not take are all rejected before any ciphertext decodes.
+func TestEvalShapeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  EvalRequest
+		want string
+	}{
+		{"unknown kind", EvalRequest{Kind: "nonsense"}, "unknown kind"},
+		{"empty kind", EvalRequest{}, "unknown kind"},
+		{"gate with lut field", EvalRequest{Kind: EvalKindGate, Op: "NOT", Space: 4}, `"space"`},
+		{"gate with circuit field", EvalRequest{Kind: EvalKindGate, Op: "AND", Outputs: []int{0}}, `"outputs"`},
+		{"lut with gate field", EvalRequest{Kind: EvalKindLUT, Space: 4, Op: "AND"}, `"op"`},
+		{"multilut with single table", EvalRequest{Kind: EvalKindMultiLUT, Space: 4, Table: []int{0}}, `"table"`},
+		{"circuit with cts", EvalRequest{Kind: EvalKindCircuit, Cts: [][]byte{}}, `"cts"`},
+		{"optimize on gate", EvalRequest{Kind: EvalKindGate, Op: "NOT", Opts: EvalOpts{Optimize: true}}, "optimize"},
+		{"optimize on lut", EvalRequest{Kind: EvalKindLUT, Space: 4, Opts: EvalOpts{Optimize: true}}, "optimize"},
+	}
+	for _, tc := range cases {
+		err := validateEvalShape(&tc.req)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+	ok := EvalRequest{Kind: EvalKindCircuit, Opts: EvalOpts{Optimize: true}}
+	if err := validateEvalShape(&ok); err != nil {
+		t.Errorf("optimize on circuit rejected: %v", err)
+	}
+}
+
+// TestV1ShimParity proves the /v1/* batch endpoints are true shims: the
+// legacy frames produce bitwise the same ciphertexts as the v2 envelope
+// the client now sends, for every kind.
+func TestV1ShimParity(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := Dial(ts.URL, "alice")
+	if err := client.RegisterKey(ek); err != nil {
+		t.Fatal(err)
+	}
+
+	postV1 := func(t *testing.T, path string, req, out any) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", path, resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Gate: v1 frame vs the client's v2 path.
+	bits := []bool{true, false, true, true}
+	shift := []bool{false, true, true, false}
+	a := encryptBools(sk, 500, bits)
+	b := encryptBools(sk, 600, shift)
+	v2Gate, err := client.GateBatch(engine.NAND, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gateResp BatchResponse
+	postV1(t, "/v1/gate-batch", GateBatchRequest{
+		ClientID: "alice", Op: "NAND", A: encodeCiphertexts(a), B: encodeCiphertexts(b),
+	}, &gateResp)
+	if !reflect.DeepEqual(gateResp.Out, encodeCiphertexts(v2Gate)) {
+		t.Error("v1 gate-batch shim differs from v2 eval")
+	}
+
+	// LUT.
+	table := []int{0, 1, 4, 1, 0, 1, 4, 1}
+	lutIn := encryptInts(sk, 800, []int{2, 6, 3}, 8)
+	v2LUT, err := client.LUTBatch(lutIn, 8, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lutResp BatchResponse
+	postV1(t, "/v1/lut-batch", LUTBatchRequest{
+		ClientID: "alice", Space: 8, Table: table, Cts: encodeCiphertexts(lutIn),
+	}, &lutResp)
+	if !reflect.DeepEqual(lutResp.Out, encodeCiphertexts(v2LUT)) {
+		t.Error("v1 lut-batch shim differs from v2 eval")
+	}
+
+	// MultiLUT: the v1 shim regroups the flat v2 response back into the
+	// legacy nested frame.
+	tables := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}
+	mlutIn := encryptInts(sk, 900, []int{1, 3}, 4)
+	v2MLUT, err := client.MultiLUTBatch(mlutIn, 4, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mlutResp MultiLUTBatchResponse
+	postV1(t, "/v1/multilut-batch", MultiLUTBatchRequest{
+		ClientID: "alice", Space: 4, Tables: tables, Cts: encodeCiphertexts(mlutIn),
+	}, &mlutResp)
+	if len(mlutResp.Out) != len(v2MLUT) {
+		t.Fatalf("v1 multilut groups = %d, v2 = %d", len(mlutResp.Out), len(v2MLUT))
+	}
+	for i := range v2MLUT {
+		if !reflect.DeepEqual(mlutResp.Out[i], encodeCiphertexts(v2MLUT[i])) {
+			t.Errorf("v1 multilut-batch shim group %d differs from v2 eval", i)
+		}
+	}
+}
+
+// TestEvalHTTPValidation drives the /v2/eval endpoint's reject paths over
+// the wire: malformed JSON, cross-kind fields, and unknown kinds all come
+// back 400 bad_request with a message naming the problem.
+func TestEvalHTTPValidation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"not json", "not json"},
+		{"unknown kind", `{"client_id":"x","kind":"nope"}`},
+		{"cross-kind field", `{"client_id":"x","kind":"gate","op":"NOT","space":4}`},
+		{"optimize on lut", `{"client_id":"x","kind":"lut","space":4,"opts":{"optimize":true}}`},
+		{"unknown field", `{"client_id":"x","kind":"gate","bogus":1}`},
+	} {
+		resp, err := http.Post(ts.URL+"/v2/eval", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var er ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("%s: decode error body: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || er.Code != CodeBadRequest {
+			t.Errorf("%s: HTTP %d code %q, want 400 bad_request", tc.name, resp.StatusCode, er.Code)
+		}
+	}
+}
+
+// TestClientRetryBodyNotTruncated is the regression test for the retry
+// path's body handling: a gate batch whose first attempt is refused 503
+// must arrive complete on the retry — the client rebuilds the body reader
+// per attempt, so a half-read first request cannot truncate the second.
+func TestClientRetryBodyNotTruncated(t *testing.T) {
+	sk, ek := testKeys(t, 1)
+	srv := New(Config{})
+	inner := srv.Handler()
+
+	var mu sync.Mutex
+	var attempts int
+	var firstLen, retryLen int
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/eval" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n == 1 {
+			// Read only half the body, then refuse: a client that shares
+			// one reader across attempts would replay only the remainder.
+			half := make([]byte, r.ContentLength/2)
+			io.ReadFull(r.Body, half)
+			mu.Lock()
+			firstLen = int(r.ContentLength)
+			mu.Unlock()
+			writeError(w, ErrOverloaded)
+			return
+		}
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("retry body read: %v", err)
+		}
+		mu.Lock()
+		retryLen = len(data)
+		mu.Unlock()
+		r.Body = io.NopCloser(bytes.NewReader(data))
+		r.ContentLength = int64(len(data))
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	client := Dial(ts.URL, "alice")
+	client.SetRetry(2, time.Millisecond)
+	if err := client.RegisterKey(ek); err != nil {
+		t.Fatal(err)
+	}
+
+	bits := []bool{true, false, true, true, false}
+	a := encryptBools(sk, 500, bits)
+	out, err := client.GateBatch(engine.NOT, a, nil)
+	if err != nil {
+		t.Fatalf("retried gate batch: %v", err)
+	}
+	mu.Lock()
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if retryLen != firstLen || retryLen == 0 {
+		t.Errorf("retry body %d bytes, first attempt advertised %d — truncated", retryLen, firstLen)
+	}
+	mu.Unlock()
+	for i, b := range bits {
+		if dec := sk.DecryptBool(out[i]); dec != !b {
+			t.Errorf("item %d decrypted %v, want %v", i, dec, !b)
+		}
+	}
+}

@@ -3,10 +3,8 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 
-	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
 	"repro/internal/wire"
@@ -131,6 +129,7 @@ type DeleteSessionResponse struct {
 
 // Handler returns the HTTP API of the service:
 //
+//	POST /v2/eval            EvalRequest           → EvalResponse
 //	POST /v1/register-key    RegisterKeyRequest    → RegisterKeyResponse
 //	POST /v1/gate-batch      GateBatchRequest      → BatchResponse
 //	POST /v1/lut-batch       LUTBatchRequest       → BatchResponse
@@ -141,10 +140,14 @@ type DeleteSessionResponse struct {
 //	GET    /v1/sessions                                     → SessionsResponse
 //	DELETE /v1/sessions/{client_id}                         → DeleteSessionResponse
 //
-// Every non-2xx reply is an ErrorResponse carrying a machine-readable
-// code (see errors.go); 503 replies also carry a Retry-After header.
+// /v2/eval is the single versioned evaluation envelope (see eval.go);
+// the /v1/* batch endpoints are thin shims that translate their legacy
+// frames onto the same core. Every non-2xx reply is an ErrorResponse
+// carrying a machine-readable code (see errors.go); 503 replies also
+// carry a Retry-After header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/register-key", s.handleRegisterKey)
 	mux.HandleFunc("POST /v1/gate-batch", s.handleGateBatch)
 	mux.HandleFunc("POST /v1/lut-batch", s.handleLUTBatch)
@@ -225,116 +228,83 @@ func (s *Server) handleRegisterKey(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RegisterKeyResponse{Params: p.Name, KeyBytes: len(req.EvalKey)})
 }
 
-// handleGateBatch decodes, evaluates, and re-encodes one gate batch.
+// handleGateBatch is the v1 shim: a GateBatchRequest is a gate-kind
+// eval envelope with a BatchResponse reply.
 func (s *Server) handleGateBatch(w http.ResponseWriter, r *http.Request) {
 	var req GateBatchRequest
 	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
 		writeError(w, fmt.Errorf("server: bad gate-batch request: %w", err))
 		return
 	}
-	op, err := engine.ParseGate(req.Op)
+	resp, err := s.Eval(EvalRequest{
+		ClientID: req.ClientID, Kind: EvalKindGate, Op: req.Op, A: req.A, B: req.B,
+	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	a, err := decodeCiphertexts(req.A, "a")
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	b, err := decodeCiphertexts(req.B, "b")
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	out, err := s.GateBatch(req.ClientID, op, a, b)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+	writeJSON(w, http.StatusOK, BatchResponse{Out: resp.Out})
 }
 
-// handleLUTBatch decodes, evaluates, and re-encodes one LUT batch.
+// handleLUTBatch is the v1 shim: a LUTBatchRequest is a lut-kind eval
+// envelope with a BatchResponse reply.
 func (s *Server) handleLUTBatch(w http.ResponseWriter, r *http.Request) {
 	var req LUTBatchRequest
 	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
 		writeError(w, fmt.Errorf("server: bad lut-batch request: %w", err))
 		return
 	}
-	cts, err := decodeCiphertexts(req.Cts, "cts")
+	resp, err := s.Eval(EvalRequest{
+		ClientID: req.ClientID, Kind: EvalKindLUT, Space: req.Space, Table: req.Table, Cts: req.Cts,
+	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	out, err := s.LUTBatch(req.ClientID, cts, req.Space, req.Table)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+	writeJSON(w, http.StatusOK, BatchResponse{Out: resp.Out})
 }
 
-// parseMultiLUTBatchRequest decodes one multilut-batch request body: the
-// JSON frame (unknown fields rejected) followed by the wire decode of
-// every ciphertext. It performs no session-dependent validation — space,
-// table, and dimension checks need the session's parameter set and happen
-// in MultiLUTBatch — but it must never panic on arbitrary bytes: the
-// body is attacker-controlled, and this helper is the fuzzing surface of
-// the endpoint.
-func parseMultiLUTBatchRequest(r io.Reader) (MultiLUTBatchRequest, []tfhe.LWECiphertext, error) {
-	var req MultiLUTBatchRequest
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return MultiLUTBatchRequest{}, nil, fmt.Errorf("server: bad multilut-batch request: %w", err)
-	}
-	cts, err := decodeCiphertexts(req.Cts, "cts")
-	if err != nil {
-		return MultiLUTBatchRequest{}, nil, err
-	}
-	return req, cts, nil
-}
-
-// handleMultiLUTBatch decodes, evaluates, and re-encodes one multi-value
-// LUT batch.
+// handleMultiLUTBatch is the v1 shim: a MultiLUTBatchRequest is a
+// multilut-kind eval envelope whose flat response regroups into the
+// legacy nested MultiLUTBatchResponse.
 func (s *Server) handleMultiLUTBatch(w http.ResponseWriter, r *http.Request) {
-	req, cts, err := parseMultiLUTBatchRequest(http.MaxBytesReader(w, r.Body, MaxBatchBodyBytes))
+	var req MultiLUTBatchRequest
+	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
+		writeError(w, fmt.Errorf("server: bad multilut-batch request: %w", err))
+		return
+	}
+	resp, err := s.Eval(EvalRequest{
+		ClientID: req.ClientID, Kind: EvalKindMultiLUT, Space: req.Space, Tables: req.Tables, Cts: req.Cts,
+	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	out, err := s.MultiLUTBatch(req.ClientID, cts, req.Space, req.Tables)
-	if err != nil {
-		writeError(w, err)
-		return
+	nested := MultiLUTBatchResponse{Out: make([][][]byte, 0, len(req.Cts))}
+	for i := 0; i < len(resp.Out); i += resp.K {
+		nested.Out = append(nested.Out, resp.Out[i:i+resp.K])
 	}
-	resp := MultiLUTBatchResponse{Out: make([][][]byte, len(out))}
-	for i, outs := range out {
-		resp.Out[i] = encodeCiphertexts(outs)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, nested)
 }
 
-// handleCircuitBatch decodes, schedules, executes, and re-encodes one
-// circuit batch.
+// handleCircuitBatch is the v1 shim: a CircuitBatchRequest is a
+// circuit-kind eval envelope with a BatchResponse reply.
 func (s *Server) handleCircuitBatch(w http.ResponseWriter, r *http.Request) {
 	var req CircuitBatchRequest
 	if err := decodeJSON(w, r, &req, MaxBatchBodyBytes); err != nil {
 		writeError(w, fmt.Errorf("server: bad circuit-batch request: %w", err))
 		return
 	}
-	inputs, err := decodeCiphertexts(req.Inputs, "inputs")
+	resp, err := s.Eval(EvalRequest{
+		ClientID: req.ClientID, Kind: EvalKindCircuit,
+		Nodes: req.Nodes, Outputs: req.Outputs, Inputs: req.Inputs,
+		Opts: EvalOpts{Optimize: req.Optimize},
+	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	out, err := s.circuitBatch(req.ClientID, req.Nodes, req.Outputs, inputs, req.Optimize)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, BatchResponse{Out: encodeCiphertexts(out)})
+	writeJSON(w, http.StatusOK, BatchResponse{Out: resp.Out})
 }
 
 // handleStats reports the service metrics snapshot.

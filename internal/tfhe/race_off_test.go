@@ -1,0 +1,6 @@
+//go:build !race
+
+package tfhe
+
+// raceEnabled reports whether the race detector is active; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package tfhe
+
+// raceEnabled reports whether the race detector is active. Allocation-count
+// tests skip under -race: the detector's shadow-memory bookkeeping and the
+// extra GC pressure it causes can evict sync.Pool scratch between runs,
+// making AllocsPerRun report spurious nonzero averages.
+const raceEnabled = true

@@ -53,6 +53,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/tfhe"
@@ -439,8 +440,79 @@ func ServeDrain(l net.Listener, srv *GateService, drain <-chan struct{}) error {
 // Dial returns a client for the gate service at baseURL (e.g.
 // "http://127.0.0.1:8475") acting as clientID. Register the context's
 // evaluation keys with RegisterKey, then batch gates and LUTs remotely.
+// The same client drives a single node or a Router front — the API
+// surface is identical.
 func Dial(baseURL, clientID string) *GateClient {
 	return server.Dial(baseURL, clientID)
+}
+
+// EvalRequest is the versioned /v2/eval envelope: one frame for every
+// batch evaluation (gate, LUT, multi-value LUT, circuit), selected by
+// its Kind field.
+type EvalRequest = server.EvalRequest
+
+// EvalOpts carries the option surface of a v2 evaluation envelope, such
+// as enabling the server-side optimizer pass pipeline for circuits.
+type EvalOpts = server.EvalOpts
+
+// RouterConfig tunes the routing tier: backend pool, health probing,
+// ejection/re-admission thresholds, forward retries, and the
+// cluster-wide admission cap.
+type RouterConfig = router.Config
+
+// Router is the cluster tier of the gate service: it consistent-hashes
+// client sessions over a pool of gate-service nodes, health-checks the
+// pool, retries idempotent forwards, and presents the same HTTP surface
+// as a single node. See NewRouter and ServeRouter.
+type Router = router.Router
+
+// NewRouter builds a routing tier over the configured backend pool and
+// starts its health probes.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	return router.New(cfg)
+}
+
+// ServeRouter runs the router's HTTP API on the listener until it fails
+// or is closed. Timeouts match Serve: key uploads are large and routed
+// evaluations can legitimately run for minutes.
+func ServeRouter(l net.Listener, rt *Router) error {
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(l)
+}
+
+// ServeRouterDrain runs the router's HTTP API on the listener until
+// drain is closed, then shuts down gracefully: new work is refused with
+// the typed shutting_down code while every in-flight forward runs to
+// completion on its backend. It returns nil after a clean drain, or the
+// listener's error if serving failed first.
+func ServeRouterDrain(l net.Listener, rt *Router, drain <-chan struct{}) error {
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-drain:
+	}
+	rt.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	<-errc
+	rt.Close()
+	return nil
 }
 
 // Accelerator wraps the Strix performance model and epoch scheduler.
