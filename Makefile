@@ -12,11 +12,11 @@ COVER_FLOOR ?= 73.0
 
 # The benchmarks behind the perf trajectory (BENCH_pbs.json): the two
 # engines, the circuit scheduler, multi-value PBS, the fast-vs-
-# reference FFT kernel comparison, and the routed cluster scale-out pair.
-# benchjson derives the CI-gated machine-portable ratios from these, so
-# the regexp must keep matching every benchmark cmd/benchjson's
-# gatedRatios table names.
-BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore|BenchmarkPBS|BenchmarkClusterGate
+# reference FFT kernel comparison, the routed cluster scale-out pair,
+# and the encrypted-inference coalescing pair. benchjson derives the
+# CI-gated machine-portable ratios from these, so the regexp must keep
+# matching every benchmark cmd/benchjson's gatedRatios table names.
+BENCH_JSON_BENCHES = BenchmarkBatchGate|BenchmarkStreamGate|BenchmarkCircuitMul|BenchmarkMultiLUT|BenchmarkSessionRestore|BenchmarkPBS|BenchmarkClusterGate|BenchmarkInfer
 # Allowed fractional regression of a gated ratio before the perf CI job
 # fails (see cmd/benchjson).
 BENCH_TOLERANCE = 0.25

@@ -572,6 +572,76 @@ func BenchmarkSessionRestore(b *testing.B) {
 	})
 }
 
+// BenchmarkInfer measures the encrypted cellCNN-style inference scenario
+// through the gate service, one single-vector infer request per lane:
+// serial issues the lanes back to back on one session, coalesced fires
+// the same lanes concurrently under that session so the group-commit
+// window merges each model stage's identically-shaped rotations across
+// requests into shared engine streams. Both report inf/s, and the
+// coalesced/serial quotient is the CI perf gate's
+// infer_coalesced_vs_serial ratio (cmd/benchjson).
+func BenchmarkInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	sk, ek := tfhe.GenerateKeys(rng, tfhe.ParamsTest)
+	srv := NewGateService(ServiceConfig{Stream: engine.StreamConfig{RotateWorkers: 2}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+	cl := Dial("http://"+l.Addr().String(), "bench-infer")
+	if err := cl.RegisterKey(ek); err != nil {
+		b.Fatal(err)
+	}
+
+	const lanes = 8
+	vecs := make([][]tfhe.LWECiphertext, lanes)
+	for i := range vecs {
+		cts := make([]tfhe.LWECiphertext, InferFeatures)
+		for m := range cts {
+			cts[m] = sk.LWE.Encrypt(rng,
+				tfhe.EncodePBSMessage(rng.Intn(InferDigitMax+1), InferSpace), tfhe.ParamsTest.LWEStdDev)
+		}
+		vecs[i] = cts
+	}
+	if _, err := cl.Infer(vecs[0], EvalOpts{}); err != nil { // warm session + connection
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cts := range vecs {
+				if _, err := cl.Infer(cts, EvalOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*lanes)/b.Elapsed().Seconds(), "inf/s")
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			errs := make([]error, lanes)
+			var wg sync.WaitGroup
+			for j, cts := range vecs {
+				wg.Add(1)
+				go func(j int, cts []tfhe.LWECiphertext) {
+					defer wg.Done()
+					_, errs[j] = cl.Infer(cts, EvalOpts{})
+				}(j, cts)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*lanes)/b.Elapsed().Seconds(), "inf/s")
+	})
+}
+
 // TestHelperClusterNode is not a test: it is the backend-node subprocess
 // behind BenchmarkClusterGate. The benchmark re-execs this test binary
 // with STRIX_CLUSTER_NODE=1 and GOMAXPROCS=1, and this helper becomes one

@@ -114,6 +114,14 @@ var gatedRatios = []gatedRatio{
 	// machines with at least 2 CPUs (minCPUs); the relative
 	// no-worse-than-baseline band applies everywhere.
 	{name: "cluster2_vs_single", num: "BenchmarkClusterGate/nodes=2", den: "BenchmarkClusterGate/nodes=1", unit: "PBS/s", min: 1.5, minCPUs: 2},
+	// The PR-10 tentpole claim: concurrent single-vector inference
+	// requests coalescing in the gate service's group-commit window must
+	// never fall below back-to-back serial requests on the same session —
+	// the merged rotation streams amortize per-request dispatch even on a
+	// single core, and fan rotations across workers on wider machines. No
+	// absolute floor beyond parity: the win scales with cores, and a
+	// 1-CPU baseline machine sits near 1×.
+	{name: "infer_coalesced_vs_serial", num: "BenchmarkInfer/coalesced", den: "BenchmarkInfer/serial", unit: "inf/s"},
 }
 
 // metricOf returns a benchmark metric, accepting gates/s as an alias for

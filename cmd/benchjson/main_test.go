@@ -31,6 +31,8 @@ BenchmarkPBS/fast-8                	       5	    800000 ns/op	      1250.0 PBS/s
 BenchmarkPBS/ref-8                 	       5	   1200000 ns/op	       833.3 PBS/s	   1200000 ns/PBS
 BenchmarkClusterGate/nodes=1-8     	       5	  64000000 ns/op	       100.0 PBS/s
 BenchmarkClusterGate/nodes=2-8     	       5	  35500000 ns/op	       180.0 PBS/s
+BenchmarkInfer/serial-8            	       5	  80000000 ns/op	       100.0 inf/s
+BenchmarkInfer/coalesced-8         	       5	  66000000 ns/op	       120.0 inf/s
 PASS
 ok  	repro	12.3s
 `
@@ -67,6 +69,9 @@ func TestParseBench(t *testing.T) {
 	if got := f.Gated["cluster2_vs_single"]; got != 1.8 {
 		t.Errorf("cluster ratio = %v, want 1.8", got)
 	}
+	if got := f.Gated["infer_coalesced_vs_serial"]; got != 1.2 {
+		t.Errorf("infer ratio = %v, want 1.2", got)
+	}
 }
 
 func TestParseBenchMissingGateBenchmark(t *testing.T) {
@@ -90,7 +95,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A regressed ratio inside the band passes, outside it fails.
 	regressed := *base
-	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.5}
+	regressed.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 1.6, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.3, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.5, "infer_coalesced_vs_serial": 1.0}
 	if err := compare(base, &regressed, 0.25, os.Stderr); err != nil {
 		t.Errorf("20%% regression inside 25%% band failed: %v", err)
 	}
@@ -99,7 +104,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A gate missing from the current run fails.
 	missing := *base
-	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
+	missing.Gated = map[string]float64{"stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8, "infer_coalesced_vs_serial": 1.2}
 	if err := compare(base, &missing, 0.25, os.Stderr); err == nil {
 		t.Error("gate missing from current run passed")
 	}
@@ -139,28 +144,28 @@ func TestCompareAbsoluteFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	low := *base
-	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
+	low.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.4, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8, "infer_coalesced_vs_serial": 1.2}
 	// 1.4 is within 25% of the 3.635 baseline? No — but force the band
 	// wide enough that only the absolute floor can catch it.
 	if err := compare(base, &low, 0.99, os.Stderr); err == nil {
 		t.Error("multilut ratio below the 1.5 absolute floor passed")
 	}
 	ok := *base
-	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
+	ok.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 1.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8, "infer_coalesced_vs_serial": 1.2}
 	if err := compare(base, &ok, 0.99, os.Stderr); err != nil {
 		t.Errorf("multilut ratio above the absolute floor failed: %v", err)
 	}
 	// The restore floor (0.25) is absolute too: a disk path that
 	// collapses below it fails even inside a wide tolerance band.
 	slow := *base
-	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
+	slow.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.2, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8, "infer_coalesced_vs_serial": 1.2}
 	if err := compare(base, &slow, 0.99, os.Stderr); err == nil {
 		t.Error("restore ratio below the 0.25 absolute floor passed")
 	}
 	// The optimizer gate's 1.1 floor: an "optimization" that is a wash
 	// or a slowdown fails regardless of the baseline band.
 	wash := *base
-	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8}
+	wash.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.0, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 1.8, "infer_coalesced_vs_serial": 1.2}
 	if err := compare(base, &wash, 0.99, os.Stderr); err == nil {
 		t.Error("optimized ratio below the 1.1 absolute floor passed")
 	}
@@ -176,7 +181,7 @@ func TestSmoke(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	out := cmdtest.Run(t, bin, "-bench", benchOut, "-o", baseJSON)
-	cmdtest.WantSubstrings(t, out, "wrote", "7 gated ratios")
+	cmdtest.WantSubstrings(t, out, "wrote", "8 gated ratios")
 
 	out = cmdtest.Run(t, bin, "-compare", baseJSON, baseJSON)
 	cmdtest.WantSubstrings(t, out, "perf gate passed", "circuit_sched_vs_seq_w2", "multilut_vs_klut", "cluster2_vs_single")
@@ -200,7 +205,7 @@ func TestCompareClusterFloorNeedsCPUs(t *testing.T) {
 		t.Fatal(err)
 	}
 	flat := *base
-	flat.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 0.95}
+	flat.Gated = map[string]float64{"circuit_sched_vs_seq_w2": 2.0, "stream_vs_batch_w1": 1.05, "multilut_vs_klut": 3.6, "restore_disk_vs_mem": 0.8, "optimized_vs_naive": 1.6, "pbs_fast_vs_ref": 1.5, "cluster2_vs_single": 0.95, "infer_coalesced_vs_serial": 1.2}
 
 	narrow := flat
 	narrow.CPUs = 1

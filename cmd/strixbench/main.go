@@ -19,6 +19,8 @@
 //	strixbench -circuit 4              # scheduled vs sequential multiply PBS/s
 //	strixbench -circuit 4 -parallel 8  # ... with explicit engine widths
 //	strixbench -multilut 4             # multi-value PBS vs 4 independent LUTs
+//	strixbench -infer 64               # encrypted cellCNN-style inference inf/s
+//	strixbench -infer 64 -clients 4    # ... coalesced across concurrent sessions
 //	strixbench -restore 4              # cold-start session restore latency
 //	strixbench -cluster 2              # routed scale-out: 2 nodes vs 1 node PBS/s
 //	strixbench -cluster 2 -clients 8 -gates 32
@@ -374,6 +376,144 @@ func runMultiLUT(set string, k, workers int) error {
 	fmt.Printf("saved    : %d of %d rotations (%.0f%%)\n",
 		ev.Counters.MultiValueOuts-ev.Counters.MultiValuePBS, outs,
 		100*float64(ev.Counters.MultiValueOuts-ev.Counters.MultiValuePBS)/float64(outs))
+	return nil
+}
+
+// runInfer measures the encrypted cellCNN-style inference scenario end
+// to end: an in-process gate service, clients uploading encrypted
+// feature vectors through the v2 infer envelope, class scores coming
+// back encrypted. Before timing it verifies the full input sweep —
+// every feature vector the model admits — decodes identical to the
+// quantized cleartext reference and reports the prediction agreement,
+// then times a `count`-inference batch per client, plain and with the
+// server-side optimizer, reporting inferences/s.
+func runInfer(set string, count, clients, workers int) error {
+	p, err := tfhe.ParamsByName(set)
+	if err != nil {
+		return err
+	}
+	if count < 1 {
+		return fmt.Errorf("-infer inference count must be >= 1, got %d", count)
+	}
+	if clients < 1 {
+		return fmt.Errorf("-clients must be >= 1, got %d", clients)
+	}
+
+	fmt.Printf("infer mode: set %s, %d clients x %d inferences (%d features each)\n",
+		p.Name, clients, count, strix.InferFeatures)
+	sweep := strix.InferSweep()
+	srv := strix.NewGateService(strix.ServiceConfig{
+		Stream:   engine.StreamConfig{RotateWorkers: workers},
+		MaxBatch: strix.InferFeatures * max(len(sweep), clients*count),
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	go func() { _ = strix.Serve(l, srv) }()
+	base := "http://" + l.Addr().String()
+
+	fmt.Print("generating keys + registering sessions... ")
+	start := time.Now()
+	type clientState struct {
+		sk  tfhe.SecretKeys
+		cl  *strix.GateClient
+		cts []tfhe.LWECiphertext
+	}
+	states := make([]*clientState, clients)
+	for i := range states {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		sk, ek := tfhe.GenerateKeys(rng, p)
+		cl := strix.Dial(base, fmt.Sprintf("infer-client-%d", i))
+		if err := cl.RegisterKey(ek); err != nil {
+			return err
+		}
+		st := &clientState{sk: sk, cl: cl}
+		for v := 0; v < count; v++ {
+			for m := 0; m < strix.InferFeatures; m++ {
+				st.cts = append(st.cts, sk.LWE.Encrypt(rng,
+					tfhe.EncodePBSMessage(rng.Intn(strix.InferDigitMax+1), strix.InferSpace), p.LWEStdDev))
+			}
+		}
+		states[i] = st
+	}
+	fmt.Printf("done (%.2fs)\n", time.Since(start).Seconds())
+
+	// Verify the full input domain against the cleartext reference before
+	// timing anything, through client 0's session.
+	st0 := states[0]
+	rng := rand.New(rand.NewSource(1000))
+	var sweepCts []tfhe.LWECiphertext
+	for _, v := range sweep {
+		for _, m := range v {
+			sweepCts = append(sweepCts, st0.sk.LWE.Encrypt(rng,
+				tfhe.EncodePBSMessage(m, strix.InferSpace), p.LWEStdDev))
+		}
+	}
+	got, err := st0.cl.Infer(sweepCts, strix.EvalOpts{Optimize: true})
+	if err != nil {
+		return err
+	}
+	agree := 0
+	for i, v := range sweep {
+		want, err := strix.InferReference(v)
+		if err != nil {
+			return err
+		}
+		dec := make([]int, strix.InferClasses)
+		for k := range dec {
+			dec[k] = tfhe.DecodePBSMessage(st0.sk.LWE.Phase(got[i][k]), strix.InferSpace)
+			if dec[k] != want[k] {
+				return fmt.Errorf("sweep vector %v score %d decodes to %d, want %d", v, k, dec[k], want[k])
+			}
+		}
+		if strix.InferPredict(dec) == strix.InferPredict(want) {
+			agree++
+		}
+	}
+	fmt.Printf("verified : all %d sweep vectors decode identical to the cleartext reference; prediction agreement %d/%d (%.1f%%)\n",
+		len(sweep), agree, len(sweep), 100*float64(agree)/float64(len(sweep)))
+
+	// Time the client batches concurrently (one infer envelope per
+	// session — concurrent sessions coalesce in the service's
+	// group-commit window), plain and optimized.
+	for _, opts := range []strix.EvalOpts{{}, {Optimize: true}} {
+		label := "plain    "
+		if opts.Optimize {
+			label = "optimized"
+		}
+		// Warm sessions and HTTP connections.
+		for _, st := range states {
+			if _, err := st.cl.Infer(st.cts[:strix.InferFeatures], opts); err != nil {
+				return err
+			}
+		}
+		start = time.Now()
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		for i, st := range states {
+			wg.Add(1)
+			go func(i int, st *clientState) {
+				defer wg.Done()
+				out, err := st.cl.Infer(st.cts, opts)
+				if err == nil && len(out) != count {
+					err = fmt.Errorf("client %d: %d score groups, want %d", i, len(out), count)
+				}
+				errs[i] = err
+			}(i, st)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		total := clients * count
+		fmt.Printf("%s: %d inferences over HTTP in %v  =  %.1f inf/s\n",
+			label, total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	}
 	return nil
 }
 
@@ -854,6 +994,7 @@ func main() {
 	stream := flag.Int("stream", 0, "streaming pipeline mode: PBS per stream (enables the mode)")
 	circuit := flag.Int("circuit", 0, "circuit scheduler mode: multiply digit count (enables the mode)")
 	multilut := flag.Int("multilut", 0, "multi-value PBS mode: LUT outputs per blind rotation (enables the mode)")
+	infer := flag.Int("infer", 0, "encrypted inference mode: inferences per client batch (enables the mode)")
 	serve := flag.Bool("serve", false, "gate service mode: end-to-end PBS/s through an HTTP server")
 	restore := flag.Int("restore", 0, "durable restart mode: session count for cold-start restore latency (enables the mode)")
 	cluster := flag.Int("cluster", 0, "cluster mode: backend node count for routed scale-out (enables the mode)")
@@ -894,14 +1035,22 @@ func main() {
 	}
 
 	modes := 0
-	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *serve, *restore != 0, *cluster != 0} {
+	for _, on := range []bool{*batch != 0, *stream != 0, *circuit != 0, *multilut != 0, *infer != 0, *serve, *restore != 0, *cluster != 0} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, -serve, -restore, and -cluster are mutually exclusive; run them separately")
+		fmt.Fprintln(os.Stderr, "strixbench: -batch, -stream, -circuit, -multilut, -infer, -serve, -restore, and -cluster are mutually exclusive; run them separately")
 		os.Exit(1)
+	}
+
+	if *infer != 0 {
+		if err := runInfer(*set, *infer, *clients, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "strixbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cluster != 0 {

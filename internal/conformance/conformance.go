@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/tfhe"
+	"repro/internal/workload"
 )
 
 // Backend is one execution path for the public operation surface. Every
@@ -34,6 +35,34 @@ type Backend interface {
 	MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error)
 	// Circuit executes a built circuit over the inputs.
 	Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error)
+	// Infer runs the built-in cellCNN-style inference model over a batch
+	// of encrypted feature vectors (vector-major, workload.InferFeatures
+	// ciphertexts each); out[i] is inference i's workload.InferClasses
+	// encrypted class scores.
+	Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error)
+}
+
+// inferViaCircuit implements Infer for backends whose service surface is
+// a circuit executor: build the model for the batch, run it, and regroup
+// the flat scores per vector. Service backends instead ship the infer
+// envelope, exercising the server-built model path.
+func inferViaCircuit(be Backend, features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	if len(features) == 0 || len(features)%workload.InferFeatures != 0 {
+		return nil, fmt.Errorf("conformance: %d feature ciphertexts is not a multiple of %d", len(features), workload.InferFeatures)
+	}
+	circ, err := workload.BuildInferBatch(len(features) / workload.InferFeatures)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := be.Circuit(circ, features)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]tfhe.LWECiphertext, 0, len(flat)/workload.InferClasses)
+	for i := 0; i < len(flat); i += workload.InferClasses {
+		out = append(out, flat[i:i+workload.InferClasses])
+	}
+	return out, nil
 }
 
 // EqualLWE reports whether two ciphertexts are bitwise identical — the
@@ -148,11 +177,12 @@ func NewFixture(seed int64) (*Fixture, error) {
 		optimizedBackend{schedBackend{r: runner, cfg: sched.Config{Opt: opt}}},
 		referenceKernelBackend{seqBackend{ev: tfhe.NewEvaluator(ek)}},
 		routedBackend{serverBackend{cl: clRouted}},
+		inferBackend{serverBackend{cl: cl}},
 	}
 	return f, nil
 }
 
-// Backends returns the nine backends; index 0 is the sequential
+// Backends returns the ten backends; index 0 is the sequential
 // reference every other backend must match — bitwise when the backend's
 // Bitwise() promise holds, by decoded plaintext otherwise.
 func (f *Fixture) Backends() []Backend { return f.backends }
@@ -236,6 +266,10 @@ func (s seqBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([
 	return sched.RunSequential(circ, s.ev, inputs)
 }
 
+func (s seqBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	return inferViaCircuit(s, features)
+}
+
 // batchBackend is the flat worker-pool engine.
 type batchBackend struct {
 	eng *engine.Engine
@@ -262,6 +296,10 @@ func (b batchBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) 
 	return r.Run(circ, sched.Config{Mode: sched.BatchOnly}, inputs)
 }
 
+func (b batchBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	return inferViaCircuit(b, features)
+}
+
 // streamBackend is the staged pipeline engine.
 type streamBackend struct {
 	eng *engine.StreamingEngine
@@ -286,6 +324,10 @@ func (s streamBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]
 func (s streamBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	r := &sched.Runner{Stream: s.eng}
 	return r.Run(circ, sched.Config{Mode: sched.StreamOnly}, inputs)
+}
+
+func (s streamBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	return inferViaCircuit(s, features)
 }
 
 // schedBackend reaches every operation through the levelizing scheduler:
@@ -359,6 +401,10 @@ func (s schedBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) 
 	return s.r.Run(circ, s.cfg, inputs)
 }
 
+func (s schedBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	return inferViaCircuit(s, features)
+}
+
 // serverBackend reaches every operation through the gate service's HTTP
 // API: wire codec, JSON framing, session lookup, and the group-commit
 // coalescer all sit between the call and the engine.
@@ -384,6 +430,10 @@ func (s serverBackend) MultiLUT(cts []tfhe.LWECiphertext, space int, tables [][]
 
 func (s serverBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECiphertext) ([]tfhe.LWECiphertext, error) {
 	return s.cl.CircuitBatch(circ, inputs)
+}
+
+func (s serverBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	return s.cl.Infer(features, server.EvalOpts{})
 }
 
 // restoredBackend is the server backend over a service whose session was
@@ -457,4 +507,28 @@ func (r referenceKernelBackend) Circuit(circ *sched.Circuit, inputs []tfhe.LWECi
 	prev := fft.SetFastKernel(false)
 	defer fft.SetFastKernel(prev)
 	return r.seqBackend.Circuit(circ, inputs)
+}
+
+func (r referenceKernelBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	prev := fft.SetFastKernel(false)
+	defer fft.SetFastKernel(prev)
+	return r.seqBackend.Infer(features)
+}
+
+// inferBackend is the encrypted-inference service scenario end to end:
+// the infer envelope over HTTP with the optimizer pass pipeline enabled
+// server-side. Optimization re-synthesizes bootstraps (multi-value
+// packing in the dense layer), so like the optimized scheduler its
+// contract is decode identity against the cleartext reference, not
+// bitwise identity with the sequential backend.
+type inferBackend struct {
+	serverBackend
+}
+
+func (inferBackend) Name() string { return "encrypted-inference" }
+
+func (inferBackend) Bitwise() bool { return false }
+
+func (b inferBackend) Infer(features []tfhe.LWECiphertext) ([][]tfhe.LWECiphertext, error) {
+	return b.cl.Infer(features, server.EvalOpts{Optimize: true})
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
+	"repro/internal/workload"
 )
 
 // fixture is shared by every test in the package: one key set, eight live
@@ -298,15 +299,111 @@ func TestCircuitConform(t *testing.T) {
 	}
 }
 
-// TestBackendNames pins that the nine backends are present, uniquely
-// named, led by the sequential reference, and that exactly the
-// optimizing backend relaxes the bitwise promise. The reference-kernel
+// encInferVecs encrypts cleartext feature vectors vector-major in the
+// inference encoding and returns the per-vector reference scores.
+func encInferVecs(t *testing.T, seed int64, vecs [][]int) ([]tfhe.LWECiphertext, [][]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var cts []tfhe.LWECiphertext
+	scores := make([][]int, len(vecs))
+	for i, v := range vecs {
+		want, err := workload.InferReference(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[i] = want
+		for _, m := range v {
+			cts = append(cts, fixture.SK.LWE.Encrypt(rng, tfhe.EncodePBSMessage(m, workload.InferSpace), tfhe.ParamsTest.LWEStdDev))
+		}
+	}
+	return cts, scores
+}
+
+// TestInferConform runs a small batch of feature vectors through every
+// backend's Infer: bitwise against the sequential reference where the
+// backend promises it, and always decode-identical to the quantized
+// cleartext reference.
+func TestInferConform(t *testing.T) {
+	vecs := [][]int{{0, 1, 2, 3}, {3, 3, 0, 0}, {2, 0, 1, 2}}
+	cts, scores := encInferVecs(t, 106, vecs)
+	ref := fixture.Backends()[0]
+	want, err := ref.Infer(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(vecs) {
+		t.Fatalf("sequential: %d score groups, want %d", len(want), len(vecs))
+	}
+	for i := range want {
+		requireInts(t, "sequential", want[i], workload.InferSpace, scores[i])
+	}
+	for _, be := range fixture.Backends()[1:] {
+		got, err := be.Infer(cts)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d score groups, want %d", be.Name(), len(got), len(want))
+		}
+		for i := range want {
+			if be.Bitwise() {
+				requireSame(t, be.Name(), got[i], want[i])
+			}
+			requireInts(t, be.Name(), got[i], workload.InferSpace, scores[i])
+		}
+	}
+}
+
+// TestInferSweepService is the service-scenario acceptance test: the
+// full input sweep — every feature vector the model admits — runs as
+// one encrypted batch end to end through a single server (with the
+// optimizer pass pipeline, via the encrypted-inference backend) and
+// through the routed cluster, and every prediction decodes identical
+// to the quantized cleartext reference.
+func TestInferSweepService(t *testing.T) {
+	sweep := workload.InferSweep()
+	cts, scores := encInferVecs(t, 107, sweep)
+	for _, name := range []string{"encrypted-inference", "routed-cluster"} {
+		var be Backend
+		for _, b := range fixture.Backends() {
+			if b.Name() == name {
+				be = b
+			}
+		}
+		if be == nil {
+			t.Fatalf("backend %q not in fixture", name)
+		}
+		got, err := be.Infer(cts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(sweep) {
+			t.Fatalf("%s: %d score groups, want %d", name, len(got), len(sweep))
+		}
+		for i := range sweep {
+			requireInts(t, name, got[i], workload.InferSpace, scores[i])
+			dec := make([]int, workload.InferClasses)
+			for k := range dec {
+				dec[k] = tfhe.DecodePBSMessage(fixture.SK.LWE.Phase(got[i][k]), workload.InferSpace)
+			}
+			if workload.InferPredict(dec) != workload.InferPredict(scores[i]) {
+				t.Fatalf("%s: vector %v predicts class %d, reference %d", name, sweep[i], workload.InferPredict(dec), workload.InferPredict(scores[i]))
+			}
+		}
+	}
+}
+
+// TestBackendNames pins that the ten backends are present, uniquely
+// named, led by the sequential reference, and that exactly the two
+// optimizing backends relax the bitwise promise. The reference-kernel
 // backend promises bitwise equality while running the pure-Go kernels,
 // which is what holds the fast path to the reference; the routed
-// cluster rides last and promises the hop through the routing tier is
-// bitwise invisible.
+// cluster promises the hop through the routing tier is bitwise
+// invisible; encrypted-inference rides last and runs the optimizer
+// pass pipeline server-side, so its contract is decode identity.
 func TestBackendNames(t *testing.T) {
-	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled", "reference-kernel", "routed-cluster"}
+	want := []string{"sequential", "batch", "streaming", "scheduled", "server", "restored-server", "optimized-scheduled", "reference-kernel", "routed-cluster", "encrypted-inference"}
+	nonBitwise := map[string]bool{"optimized-scheduled": true, "encrypted-inference": true}
 	bes := fixture.Backends()
 	if len(bes) != len(want) {
 		t.Fatalf("%d backends, want %d", len(bes), len(want))
@@ -315,7 +412,7 @@ func TestBackendNames(t *testing.T) {
 		if be.Name() != want[i] {
 			t.Fatalf("backend %d named %q, want %q", i, be.Name(), want[i])
 		}
-		if wantBitwise := be.Name() != "optimized-scheduled"; be.Bitwise() != wantBitwise {
+		if wantBitwise := !nonBitwise[be.Name()]; be.Bitwise() != wantBitwise {
 			t.Fatalf("backend %q reports Bitwise()=%v, want %v", be.Name(), be.Bitwise(), wantBitwise)
 		}
 	}

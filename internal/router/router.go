@@ -6,8 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -297,16 +297,33 @@ func (r *Router) forward(w http.ResponseWriter, path, id string, body []byte, pi
 					fmt.Sprintf("router: backend unreachable: %v", lastErr))
 				return
 			}
-			time.Sleep(r.backoff(attempt))
+			time.Sleep(server.Backoff(r.cfg.RetryBase, attempt))
 			continue
 		}
-		if resp.StatusCode == http.StatusServiceUnavailable && attempt < r.cfg.MaxRetries {
-			// The node refused temporarily (overloaded or draining):
-			// count it toward ejection and retry after backoff.
-			resp.Body.Close()
-			b.noteFailure(r.cfg.FailThreshold)
-			time.Sleep(r.backoff(attempt))
-			continue
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The node refused temporarily. Only a draining node — one
+			// announcing shutting_down — counts toward ejection: it is
+			// leaving and probes should gate its return. A merely
+			// overloaded node is alive and doing work; ejecting it when
+			// the cluster is busiest would cascade its load onto the
+			// remaining nodes. Either way the request retries after
+			// backoff, floored by the node's own Retry-After.
+			refusal := readRefusal(resp)
+			if refusal.code == server.CodeShuttingDown {
+				b.noteFailure(r.cfg.FailThreshold)
+			}
+			if attempt < r.cfg.MaxRetries {
+				d := server.Backoff(r.cfg.RetryBase, attempt)
+				if refusal.retryAfter > d {
+					d = refusal.retryAfter
+				}
+				time.Sleep(d)
+				continue
+			}
+			// Out of retries: relay the stored refusal verbatim, like
+			// passthrough would (the body was consumed to classify it).
+			refusal.writeTo(w)
+			return
 		}
 		if resp.StatusCode == http.StatusOK {
 			b.noteForwardSuccess()
@@ -319,10 +336,49 @@ func (r *Router) forward(w http.ResponseWriter, path, id string, body []byte, pi
 	}
 }
 
-// backoff returns the jittered exponential delay before retry attempt.
-func (r *Router) backoff(attempt int) time.Duration {
-	d := r.cfg.RetryBase << attempt
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+// maxRefusalBody bounds how much of a 503 body the router reads to
+// classify the refusal; error frames are tiny, anything bigger is noise.
+const maxRefusalBody = 1 << 20
+
+// refusal is one consumed 503 response: enough to classify it (code),
+// pace the retry (retryAfter), and relay it verbatim if retries run out.
+type refusal struct {
+	code        string
+	retryAfter  time.Duration
+	contentType string
+	body        []byte
+}
+
+// readRefusal drains and closes a 503 response, extracting the typed
+// error code from its body. Malformed bodies classify as code "" —
+// treated like overloaded: alive, not ejectable.
+func readRefusal(resp *http.Response) refusal {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxRefusalBody))
+	resp.Body.Close()
+	ref := refusal{contentType: resp.Header.Get("Content-Type"), body: body}
+	if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs > 0 {
+		ref.retryAfter = time.Duration(secs) * time.Second
+		if ref.retryAfter > server.MaxBackoff {
+			ref.retryAfter = server.MaxBackoff
+		}
+	}
+	var er server.ErrorResponse
+	if json.Unmarshal(body, &er) == nil {
+		ref.code = er.Code
+	}
+	return ref
+}
+
+// writeTo relays the stored refusal with passthrough's header contract.
+func (ref refusal) writeTo(w http.ResponseWriter) {
+	if ref.contentType != "" {
+		w.Header().Set("Content-Type", ref.contentType)
+	}
+	if ref.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(ref.retryAfter/time.Second)))
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write(ref.body)
 }
 
 // passthrough relays a backend response verbatim — status, content

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -478,5 +480,94 @@ func TestRouterConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Backends: []string{"http://x", "http://x/"}}); err == nil {
 		t.Error("duplicate backends accepted")
+	}
+}
+
+// stub503 boots a backend that answers every request with a 503 carrying
+// the given typed code, counting the requests it receives. No probe runs
+// during these tests (hour-long ProbeInterval), so health transitions
+// come from the forward path alone.
+func stub503(t *testing.T, code string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "busy", Code: code})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postEval sends one minimal eval envelope through the router and
+// returns the response status and decoded error frame.
+func postEval(t *testing.T, url string) (int, server.ErrorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v2/eval", "application/json", strings.NewReader(`{"client_id":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode refusal: %v", err)
+	}
+	return resp.StatusCode, er
+}
+
+// TestOverloaded503NotEjected pins the health semantics of a busy node:
+// a backend answering 503 overloaded is alive and doing work, so the
+// router must retry against it and relay the refusal — but never count
+// it toward FailThreshold. Ejecting nodes exactly when the cluster is
+// busiest would cascade their load onto the survivors.
+func TestOverloaded503NotEjected(t *testing.T) {
+	var hits atomic.Int64
+	ts := stub503(t, server.CodeOverloaded, &hits)
+	r, rts := newRouter(t, Config{
+		Backends:      []string{ts.URL},
+		ProbeInterval: time.Hour, // no probe interference
+		FailThreshold: 1,
+		MaxRetries:    2,
+		RetryBase:     time.Millisecond,
+	})
+
+	status, er := postEval(t, rts.URL)
+	if status != http.StatusServiceUnavailable || er.Code != server.CodeOverloaded {
+		t.Fatalf("refusal = HTTP %d code %q, want 503 %q", status, er.Code, server.CodeOverloaded)
+	}
+	if got := hits.Load(); got != 3 { // initial attempt + MaxRetries
+		t.Errorf("backend saw %d attempts, want 3", got)
+	}
+	if !r.pool.backends[0].isHealthy() {
+		t.Error("overloaded-but-healthy backend was ejected from the pool")
+	}
+}
+
+// TestShuttingDown503Ejects pins the complementary case: a node that
+// announces shutting_down is leaving, so its refusals do count toward
+// FailThreshold and probes gate its re-admission.
+func TestShuttingDown503Ejects(t *testing.T) {
+	var hits atomic.Int64
+	ts := stub503(t, server.CodeShuttingDown, &hits)
+	r, rts := newRouter(t, Config{
+		Backends:      []string{ts.URL},
+		ProbeInterval: time.Hour,
+		FailThreshold: 1,
+		MaxRetries:    1,
+		RetryBase:     time.Millisecond,
+	})
+
+	// The first shutting_down refusal ejects the node (FailThreshold 1);
+	// the unpinned retry then finds no healthy backend, so the router
+	// answers with its own 503.
+	status, _ := postEval(t, rts.URL)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("refusal = HTTP %d, want 503", status)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("backend saw %d attempts, want 1 (ejected after the first)", got)
+	}
+	if r.pool.backends[0].isHealthy() {
+		t.Error("draining backend still admitted after FailThreshold refusals")
 	}
 }

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MaxBackoff caps one retry delay: past it, exponential growth only adds
+// latency to a request that should instead fail over or surface its
+// error.
+const MaxBackoff = 30 * time.Second
+
+// Backoff returns the jittered exponential delay before retry attempt
+// (0-based): a uniform draw in [d/2, d) where d = base·2^attempt, so
+// synchronized clients desynchronize instead of re-stampeding a
+// recovering server. The doubling saturates at MaxBackoff instead of
+// shifting into overflow, and the jitter draw is guarded against a
+// degenerate (sub-2ns) base, so the helper is total: any base and any
+// attempt yield a positive, bounded delay. Shared by the HTTP client
+// and the routing tier.
+func Backoff(base time.Duration, attempt int) time.Duration {
+	if base < 2 {
+		base = 2 // smallest d whose half still supports a jitter draw
+	}
+	d := base
+	for ; attempt > 0 && d < MaxBackoff; attempt-- {
+		d *= 2
+	}
+	if d > MaxBackoff {
+		d = MaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}

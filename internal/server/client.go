@@ -6,8 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -74,17 +74,11 @@ func retryable(err error) bool {
 	return errors.As(err, &api) && api.Temporary()
 }
 
-// backoff returns the jittered exponential delay before retry attempt.
-func (c *Client) backoff(attempt int) time.Duration {
-	d := c.retryBase << attempt
-	// Full jitter: a uniform draw in [d/2, d), so synchronized clients
-	// desynchronize instead of re-stampeding a recovering server.
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
-}
-
 // do sends one request, retrying temporary refusals, and decodes the
 // reply into out. body is re-readable across attempts because it is a
-// byte slice.
+// byte slice. A Retry-After the server sent with the refusal floors the
+// jittered backoff for that attempt: the server knows how long its
+// overload or drain will last better than the client's schedule does.
 func (c *Client) do(method, path string, body []byte, out any) error {
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -92,7 +86,12 @@ func (c *Client) do(method, path string, body []byte, out any) error {
 		if err == nil || !retryable(err) || attempt >= c.maxRetries {
 			return err
 		}
-		time.Sleep(c.backoff(attempt))
+		d := Backoff(c.retryBase, attempt)
+		var api *APIError
+		if errors.As(err, &api) && api.RetryAfter > d {
+			d = api.RetryAfter
+		}
+		time.Sleep(d)
 	}
 }
 
@@ -135,7 +134,7 @@ func decodeReply(resp *http.Response, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Status: resp.StatusCode, Code: CodeInternal}
+		apiErr := &APIError{Status: resp.StatusCode, Code: CodeInternal, RetryAfter: retryAfterOf(resp)}
 		var er ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			apiErr.Message = er.Error
@@ -150,6 +149,22 @@ func decodeReply(resp *http.Response, out any) error {
 		return apiErr
 	}
 	return json.Unmarshal(data, out)
+}
+
+// retryAfterOf parses a response's Retry-After delay. Both the server
+// and the router send it as whole seconds on 503s; an absent, malformed,
+// or HTTP-date header yields 0 (no floor), and the result is clamped to
+// MaxBackoff so a hostile header cannot park the client.
+func retryAfterOf(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > MaxBackoff {
+		d = MaxBackoff
+	}
+	return d
 }
 
 // RegisterKey uploads the evaluation keys, creating (or replacing) this
@@ -236,6 +251,29 @@ func (c *Client) LUTBatch(cts []tfhe.LWECiphertext, space int, table []int) ([]t
 // applied to cts[i].
 func (c *Client) MultiLUTBatch(cts []tfhe.LWECiphertext, space int, tables [][]int) ([][]tfhe.LWECiphertext, error) {
 	flat, k, err := c.eval(EvalRequest{Kind: EvalKindMultiLUT, Space: space, Tables: tables, Cts: encodeCiphertexts(cts)})
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || len(flat)%k != 0 {
+		return nil, fmt.Errorf("server: eval reply shape %d outputs / k=%d", len(flat), k)
+	}
+	out := make([][]tfhe.LWECiphertext, 0, len(flat)/k)
+	for i := 0; i < len(flat); i += k {
+		out = append(out, flat[i:i+k])
+	}
+	return out, nil
+}
+
+// Infer runs the server's built-in cellCNN-style inference model over a
+// batch of encrypted feature vectors: features is vector-major,
+// workload.InferFeatures InferSpace-encoded ciphertexts per inference.
+// out[i] is inference i's workload.InferClasses encrypted class scores,
+// which decode to workload.InferReference's cleartext scores; the caller
+// decrypts and argmaxes (workload.InferPredict) to read the prediction.
+// opts with Optimize runs the model through the server-side optimizer
+// pass pipeline first.
+func (c *Client) Infer(features []tfhe.LWECiphertext, opts EvalOpts) ([][]tfhe.LWECiphertext, error) {
+	flat, k, err := c.eval(EvalRequest{Kind: EvalKindInfer, Inputs: encodeCiphertexts(features), Opts: opts})
 	if err != nil {
 		return nil, err
 	}

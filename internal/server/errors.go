@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Machine-readable error codes: the `code` field of every non-2xx API
@@ -57,6 +58,10 @@ type APIError struct {
 	Status int
 	// Message is the human-readable error text.
 	Message string
+	// RetryAfter is the response's Retry-After delay, if the server sent
+	// one (503s carry it); zero otherwise. The client uses it as the
+	// floor of its jittered backoff before re-sending.
+	RetryAfter time.Duration
 }
 
 // Error implements error.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/tfhe"
+	"repro/internal/workload"
 )
 
 // The v2 evaluation envelope: every batch operation — gate, LUT,
@@ -31,6 +32,13 @@ const (
 	// EvalKindCircuit executes a serialized circuit DAG (Nodes, Outputs)
 	// over Inputs, optionally through the optimizer pass pipeline.
 	EvalKindCircuit = "circuit"
+	// EvalKindInfer runs the built-in cellCNN-style inference model over
+	// Inputs — a batch of encrypted feature vectors, each
+	// workload.InferFeatures ciphertexts, vector-major — and answers
+	// workload.InferClasses encrypted class scores per vector. The model
+	// circuit is built server-side, so the payload is just the features;
+	// opts.optimize runs it through the scheduler's optimizer first.
+	EvalKindInfer = "infer"
 )
 
 // EvalOpts carries the option surface of a v2 evaluation: knobs that
@@ -40,8 +48,8 @@ type EvalOpts struct {
 	// circuit envelope before execution (CSE, pruning, linear folding,
 	// bootstrap fusion, multi-value packing bounded by the session's
 	// parameter set). Outputs decode identically to the unoptimized
-	// circuit but are not bitwise identical. Only valid for circuit
-	// envelopes.
+	// circuit but are not bitwise identical. Only valid for circuit and
+	// infer envelopes.
 	Optimize bool `json:"optimize,omitempty"`
 }
 
@@ -122,6 +130,7 @@ func validateEvalShape(req *EvalRequest) error {
 		EvalKindLUT:      {"space": true, "table": true, "cts": true},
 		EvalKindMultiLUT: {"space": true, "tables": true, "cts": true},
 		EvalKindCircuit:  {"nodes": true, "outputs": true, "inputs": true},
+		EvalKindInfer:    {"inputs": true},
 	}
 	ok, known := allowed[req.Kind]
 	if !known {
@@ -132,8 +141,8 @@ func validateEvalShape(req *EvalRequest) error {
 			return evalKindError("field %q is not part of a %q envelope", f.name, req.Kind)
 		}
 	}
-	if req.Opts.Optimize && req.Kind != EvalKindCircuit {
-		return evalKindError("optimize applies only to circuit envelopes")
+	if req.Opts.Optimize && req.Kind != EvalKindCircuit && req.Kind != EvalKindInfer {
+		return evalKindError("optimize applies only to circuit and infer envelopes")
 	}
 	return nil
 }
@@ -158,7 +167,7 @@ func decodeEvalOperands(req *EvalRequest) (evalOperands, error) {
 		if ops.a, err = decodeCiphertexts(req.Cts, "cts"); err != nil {
 			return evalOperands{}, err
 		}
-	case EvalKindCircuit:
+	case EvalKindCircuit, EvalKindInfer:
 		if ops.a, err = decodeCiphertexts(req.Inputs, "inputs"); err != nil {
 			return evalOperands{}, err
 		}
@@ -217,6 +226,9 @@ func (s *Server) evalDecoded(req EvalRequest, ops evalOperands) ([]tfhe.LWECiphe
 	case EvalKindCircuit:
 		out, err := s.circuitBatch(req.ClientID, req.Nodes, req.Outputs, ops.a, req.Opts.Optimize)
 		return out, 1, err
+	case EvalKindInfer:
+		out, err := s.InferBatch(req.ClientID, ops.a, req.Opts.Optimize)
+		return out, workload.InferClasses, err
 	}
 	return nil, 0, evalKindError("unknown kind %q", req.Kind)
 }

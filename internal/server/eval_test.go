@@ -33,6 +33,8 @@ func TestEvalShapeValidation(t *testing.T) {
 		{"circuit with cts", EvalRequest{Kind: EvalKindCircuit, Cts: [][]byte{}}, `"cts"`},
 		{"optimize on gate", EvalRequest{Kind: EvalKindGate, Op: "NOT", Opts: EvalOpts{Optimize: true}}, "optimize"},
 		{"optimize on lut", EvalRequest{Kind: EvalKindLUT, Space: 4, Opts: EvalOpts{Optimize: true}}, "optimize"},
+		{"infer with cts", EvalRequest{Kind: EvalKindInfer, Cts: [][]byte{}}, `"cts"`},
+		{"infer with table", EvalRequest{Kind: EvalKindInfer, Table: []int{0}}, `"table"`},
 	}
 	for _, tc := range cases {
 		err := validateEvalShape(&tc.req)
@@ -47,6 +49,10 @@ func TestEvalShapeValidation(t *testing.T) {
 	ok := EvalRequest{Kind: EvalKindCircuit, Opts: EvalOpts{Optimize: true}}
 	if err := validateEvalShape(&ok); err != nil {
 		t.Errorf("optimize on circuit rejected: %v", err)
+	}
+	okInfer := EvalRequest{Kind: EvalKindInfer, Opts: EvalOpts{Optimize: true}}
+	if err := validateEvalShape(&okInfer); err != nil {
+		t.Errorf("optimize on infer rejected: %v", err)
 	}
 }
 

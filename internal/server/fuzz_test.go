@@ -46,7 +46,7 @@ func FuzzEvalDecode(f *testing.F) {
 			}
 		case EvalKindLUT, EvalKindMultiLUT:
 			blobs = req.Cts
-		case EvalKindCircuit:
+		case EvalKindCircuit, EvalKindInfer:
 			blobs = req.Inputs
 		default:
 			t.Fatalf("accepted unknown kind %q", req.Kind)
@@ -94,8 +94,13 @@ func evalFuzzSeeds() [][]byte {
 		Inputs:  cts,
 		Opts:    EvalOpts{Optimize: true},
 	})
+	infer := mustJSON(EvalRequest{
+		ClientID: "fuzz", Kind: EvalKindInfer,
+		Inputs: cts,
+		Opts:   EvalOpts{Optimize: true},
+	})
 	seeds := [][]byte{
-		gate, lut, multilut, circuit,
+		gate, lut, multilut, circuit, infer,
 		[]byte(`{}`),
 		[]byte(`{"client_id":"x","kind":"gate","op":"NOT","a":[]}`),
 		[]byte(`{"client_id":"x","kind":"lut","space":-1,"table":null,"cts":["AAAA"]}`),

@@ -57,6 +57,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/tfhe"
+	"repro/internal/workload"
 )
 
 // FHEContext bundles a key set with an evaluator for end-to-end encrypted
@@ -454,6 +455,48 @@ type EvalRequest = server.EvalRequest
 // EvalOpts carries the option surface of a v2 evaluation envelope, such
 // as enabling the server-side optimizer pass pipeline for circuits.
 type EvalOpts = server.EvalOpts
+
+// Encrypted inference: the gate service serves a built-in cellCNN-style
+// classifier as a first-class scenario (kind "infer" on /v2/eval).
+// Clients encrypt each feature digit in the InferSpace PBS encoding,
+// upload vector-major batches with GateClient.Infer, and decode the
+// returned class scores in the same space; InferReference is the
+// quantized cleartext golden model the encrypted path is
+// conformance-pinned against, exhaustively over InferSweep.
+const (
+	// InferSpace is the PBS message space inference features and class
+	// scores are encoded in.
+	InferSpace = workload.InferSpace
+	// InferFeatures is the flat feature-vector length of one inference.
+	InferFeatures = workload.InferFeatures
+	// InferClasses is the number of class scores per inference.
+	InferClasses = workload.InferClasses
+	// InferDigitMax is the largest admissible feature or score digit.
+	InferDigitMax = workload.InferDigitMax
+)
+
+// BuildInferenceCircuit builds the inference model over batch feature
+// vectors as a plain circuit — the same circuit the gate service
+// executes for kind "infer" — for callers running it locally through
+// the scheduler (inputs batch·InferFeatures wires vector-major, outputs
+// batch·InferClasses score wires).
+func BuildInferenceCircuit(batch int) (*Circuit, error) {
+	return workload.BuildInferBatch(batch)
+}
+
+// InferReference computes the quantized cleartext class scores for one
+// feature vector — what the encrypted scores must decode to.
+func InferReference(features []int) ([]int, error) {
+	return workload.InferReference(features)
+}
+
+// InferPredict returns the predicted class of a score vector: the
+// argmax, lowest class on ties.
+func InferPredict(scores []int) int { return workload.InferPredict(scores) }
+
+// InferSweep enumerates the model's full input domain, in lexicographic
+// order — small enough to pin encrypted inference exhaustively.
+func InferSweep() [][]int { return workload.InferSweep() }
 
 // RouterConfig tunes the routing tier: backend pool, health probing,
 // ejection/re-admission thresholds, forward retries, and the
